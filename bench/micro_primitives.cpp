@@ -1,0 +1,57 @@
+/// Micro-kernels: the PRAM-style parallel primitives (scan / merge / sort).
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+
+#include "parallel/merge_sort.hpp"
+#include "parallel/scan.hpp"
+
+namespace {
+
+using namespace thsr;
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<u64> xs(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::exclusive_scan(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(n));
+}
+BENCHMARK(BM_ExclusiveScan)->Arg(1 << 12)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_ParallelMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 g{3};
+  std::vector<long> a(n), b(n), out(2 * n);
+  for (auto& x : a) x = static_cast<long>(g());
+  for (auto& x : b) x = static_cast<long>(g());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    par::parallel_merge<long>(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(2 * n));
+}
+BENCHMARK(BM_ParallelMerge)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_ParallelSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 g{5};
+  std::vector<long> base(n);
+  for (auto& x : base) x = static_cast<long>(g());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<long> xs = base;
+    state.ResumeTiming();
+    par::parallel_sort<long>(xs);
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(n));
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 14)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,36 @@
+/// E11 — section 3 step 1 / Fact 1 (Tamassia–Vitter separator tree):
+/// this repo substitutes a sequential O(n log n) sweep + toposort (output-
+/// invariant, DESIGN.md section 4.2). Measured: near n·log n scaling of the
+/// ordering step and its share of the end-to-end runtime.
+
+#include "bench_util.hpp"
+#include "separator/depth_order.hpp"
+
+#include <chrono>
+
+int main() {
+  using namespace thsr;
+  using namespace thsr::bench;
+  print_header("E11", "Fact 1 substitution",
+               "ordering ~ n log n and a modest share of end-to-end time");
+
+  Table t({"grid", "n", "order_ms", "ms/(n log2 n)*1e6", "constraints/n", "share_of_total"});
+  std::vector<u32> grids{24, 48, 96, 128};
+  if (large()) grids.push_back(176);
+  for (const u32 g : grids) {
+    const Terrain terr = make(Family::Fbm, g);
+    const auto t0 = std::chrono::steady_clock::now();
+    const DepthOrder d = compute_depth_order(terr);
+    const double order_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const HsrResult r = hidden_surface_removal(terr, {.algorithm = Algorithm::Parallel});
+    const double n = static_cast<double>(terr.edge_count());
+    t.row({Table::num(static_cast<long long>(g)), Table::num(static_cast<long long>(terr.edge_count())),
+           ms(order_s), Table::num(order_s * 1e9 / (n * log2d(n)), 2),
+           Table::num(static_cast<double>(d.constraints) / n, 2),
+           Table::num(order_s / r.stats.total_s, 3)});
+  }
+  t.print_markdown(std::cout);
+  t.maybe_write_csv("table_e11_order");
+  return 0;
+}

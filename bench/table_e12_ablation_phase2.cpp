@@ -1,0 +1,42 @@
+/// E12 — design ablation: what does the persistent structure buy phase 2?
+/// Same algorithm, two oracles: Persistent (shared versions + pruned
+/// descent, the paper's design) vs MaterializedScan (flatten the inherited
+/// profile at every PCT node, scan linearly — the naive alternative whose
+/// cost is Theta(sum over nodes |P_v|)). Outputs are bit-identical; cost is
+/// not, and the gap widens with n.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace thsr;
+  using namespace thsr::bench;
+  print_header("E12", "design ablation (persistence in phase 2)",
+               "persistent oracle ~ (n+k) polylog; materialize-per-node ~ sum|P_v| >> that");
+
+  Table t({"family", "grid", "n", "k", "oracle", "phase2_ms", "total_ms", "oracle_steps",
+           "same_output"});
+  std::vector<std::pair<Family, u32>> cases{{Family::Fbm, 24},         {Family::Fbm, 48},
+                                            {Family::Fbm, 96},         {Family::TerraceBack, 24},
+                                            {Family::TerraceBack, 48}, {Family::TerraceBack, 96}};
+  if (large()) cases.push_back({Family::TerraceBack, 128});
+  for (const auto& [fam, g] : cases) {
+    const Terrain terr = make(fam, g);
+    const auto pers = solve_median3(
+        terr, {.algorithm = Algorithm::Parallel, .phase2_oracle = Phase2Oracle::Persistent});
+    const auto scan = solve_median3(
+        terr, {.algorithm = Algorithm::Parallel, .phase2_oracle = Phase2Oracle::MaterializedScan});
+    const bool same = !pers.map.first_difference(scan.map).has_value();
+    const auto row = [&](const char* name, const HsrResult& r) {
+      t.row({family_name(fam), Table::num(static_cast<long long>(g)),
+             Table::num(static_cast<long long>(r.stats.n_edges)),
+             Table::num(static_cast<long long>(r.stats.k_pieces)), name, ms(r.stats.phase2_s),
+             ms(r.stats.total_s), Table::num(static_cast<long long>(r.stats.work[Op::OracleStep])),
+             same ? "yes" : "NO"});
+    };
+    row("persistent", pers);
+    row("materialized_scan", scan);
+  }
+  t.print_markdown(std::cout);
+  t.maybe_write_csv("table_e12_ablation_phase2");
+  return 0;
+}

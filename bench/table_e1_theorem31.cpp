@@ -1,0 +1,38 @@
+/// E1 — Theorem 3.1: the parallel algorithm runs in
+/// O(max{log^4 n, (k + n·alpha(n)) log^3 n / p}) on a CREW PRAM.
+/// Machine-independent check: total counted operations, normalized by
+/// (n + k)·log^3 n, should be a (slowly falling) constant as n grows; wall
+/// clock should scale near (n+k)·polylog.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace thsr;
+  using namespace thsr::bench;
+  print_header("E1", "Theorem 3.1",
+               "work O((k + n alpha(n)) log^3 n); ops/((n+k) log^3 n) ~ flat");
+
+  Table t({"grid", "n", "k", "order_ms", "phase1_ms", "phase2_ms", "total_ms", "ops",
+           "ops/((n+k)log3n)", "ops/(n+k)"});
+  std::vector<u32> grids{24, 32, 48, 64, 96};
+  if (large()) {
+    grids.push_back(128);
+    grids.push_back(176);
+  }
+  for (const u32 g : grids) {
+    const Terrain terr = make(Family::Fbm, g);
+    const HsrResult r = hidden_surface_removal(terr, {.algorithm = Algorithm::Parallel});
+    const double n = static_cast<double>(r.stats.n_edges);
+    const double k = static_cast<double>(r.stats.k_pieces);
+    const double ops = static_cast<double>(r.stats.work.total());
+    const double l = log2d(n);
+    t.row({Table::num(static_cast<long long>(g)), Table::num(static_cast<long long>(r.stats.n_edges)),
+           Table::num(static_cast<long long>(r.stats.k_pieces)), ms(r.stats.order_s),
+           ms(r.stats.phase1_s), ms(r.stats.phase2_s), ms(r.stats.total_s),
+           Table::num(static_cast<long long>(ops)), Table::num(ops / ((n + k) * l * l * l), 5),
+           Table::num(ops / (n + k), 2)});
+  }
+  t.print_markdown(std::cout);
+  t.maybe_write_csv("table_e1_theorem31");
+  return 0;
+}

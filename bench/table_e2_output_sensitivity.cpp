@@ -1,0 +1,52 @@
+/// E2 — output-size sensitivity (abstract, section 1.3): at a fixed input
+/// size n, the cost of the output-sensitive algorithms tracks the output
+/// size k, while the non-output-sensitive reference tracks the profile
+/// complexity it scans regardless of what is visible.
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace thsr;
+  using namespace thsr::bench;
+  print_header("E2", "abstract / section 1.3",
+               "fixed n: parallel & sequential runtime grows with k; who wins and where");
+
+  struct Row {
+    std::string name;
+    u64 n, k;
+    double t_par, t_seq, t_ref;
+    u64 ops_par;
+  };
+  std::vector<Row> rows;
+  const u32 g = large() ? 64 : 48;
+
+  const auto run_one = [&](const std::string& name, const Terrain& terr) {
+    const auto par = solve_median3(terr, {.algorithm = Algorithm::Parallel});
+    const auto seq = solve_median3(terr, {.algorithm = Algorithm::Sequential});
+    const auto ref = solve_median3(terr, {.algorithm = Algorithm::Reference});
+    rows.push_back({name, par.stats.n_edges, par.stats.k_pieces, par.stats.total_s,
+                    seq.stats.total_s, ref.stats.total_s, par.stats.work.total()});
+  };
+
+  for (const Family f : {Family::RidgeFront, Family::Valley, Family::Fbm, Family::Skyline,
+                         Family::TerraceBack}) {
+    run_one(family_name(f), make(f, g));
+  }
+  for (const double d : {0.02, 0.1, 0.3}) {
+    run_one("spikes_" + Table::num(d, 2), make(Family::Spikes, g, 1, d));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) { return a.k < b.k; });
+
+  Table t({"scene", "n", "k", "k/n", "par_ms", "seq_ms", "ref_ms", "par_ops", "ops/(n+k)"});
+  for (const Row& r : rows) {
+    t.row({r.name, Table::num(static_cast<long long>(r.n)), Table::num(static_cast<long long>(r.k)),
+           Table::num(static_cast<double>(r.k) / static_cast<double>(r.n), 2), ms(r.t_par),
+           ms(r.t_seq), ms(r.t_ref), Table::num(static_cast<long long>(r.ops_par)),
+           Table::num(static_cast<double>(r.ops_par) / static_cast<double>(r.n + r.k), 1)});
+  }
+  t.print_markdown(std::cout);
+  t.maybe_write_csv("table_e2_output_sensitivity");
+  return 0;
+}

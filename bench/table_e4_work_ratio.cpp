@@ -1,0 +1,34 @@
+/// E4 — the paper's final Remark: with p = n alpha(n)/log n processors the
+/// parallel work is O((k + n alpha(n)) log^3 n), within an O(log n) factor
+/// of the sequential Reif–Sen bound. Measured: ratio of counted operations
+/// (parallel / sequential) should grow no faster than ~log n.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace thsr;
+  using namespace thsr::bench;
+  print_header("E4", "final Remark",
+               "parallel work within O(log n) of the sequential algorithm");
+
+  Table t({"grid", "n", "k", "ops_seq", "ops_par", "ratio", "log2(n)", "ratio/log2(n)"});
+  std::vector<u32> grids{16, 24, 32, 48, 64};
+  if (large()) grids.push_back(96);
+  for (const u32 g : grids) {
+    const Terrain terr = make(Family::Fbm, g);
+    const auto seq = hidden_surface_removal(terr, {.algorithm = Algorithm::Sequential});
+    const auto par = hidden_surface_removal(terr, {.algorithm = Algorithm::Parallel});
+    const double os = static_cast<double>(seq.stats.work.total());
+    const double op = static_cast<double>(par.stats.work.total());
+    const double l = log2d(static_cast<double>(par.stats.n_edges));
+    t.row({Table::num(static_cast<long long>(g)),
+           Table::num(static_cast<long long>(par.stats.n_edges)),
+           Table::num(static_cast<long long>(par.stats.k_pieces)),
+           Table::num(static_cast<long long>(seq.stats.work.total())),
+           Table::num(static_cast<long long>(par.stats.work.total())), Table::num(op / os, 2),
+           Table::num(l, 2), Table::num(op / os / l, 3)});
+  }
+  t.print_markdown(std::cout);
+  t.maybe_write_csv("table_e4_work_ratio");
+  return 0;
+}

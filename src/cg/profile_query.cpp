@@ -1,0 +1,150 @@
+#include "cg/profile_query.hpp"
+
+#include <algorithm>
+
+#include "parallel/work_depth.hpp"
+
+namespace thsr {
+namespace {
+
+int state_of(const Seg2& s, const Seg2& piece_seg, const QY& y) {
+  return cmp_value_near(s, piece_seg, y, Side::After) > 0 ? +1 : -1;
+}
+
+struct Walker {
+  const Seg2& s;
+  const QY& from;
+  const QY& to;
+  std::span<const Seg2> segs;
+  std::vector<TransitionEvent>& out;
+  int state;
+
+  // Process the piece p on its overlap with (from, to).
+  void do_piece(const PieceData& p) {
+    const QY lo = qmax(from, p.y0);
+    const QY hi = qmin(to, p.y1);
+    if (!(lo < hi)) return;
+    const Seg2& q = resolve_seg(segs, p.edge);
+    const int entry = state_of(s, q, lo);
+    if (entry != state) {
+      out.push_back({lo, entry, p.edge, EventKind::Break});
+      work::count(Op::MergeEvent);
+      state = entry;
+    }
+    if (auto cr = crossing_in(s, q, lo, hi)) {
+      state = -state;
+      out.push_back({*cr, state, p.edge, EventKind::Cross});
+      work::count(Op::Crossing);
+    }
+  }
+
+  // Leftmost piece of the subtree overlapping (from, to); full coverage
+  // guarantees it exists whenever the overlap is non-empty.
+  const PieceData& leftmost(const PNode* t, const QY& olo) {
+    const PieceData* p = ptreap::piece_at(t, olo, Side::After);
+    THSR_CHECK(p != nullptr);
+    return *p;
+  }
+
+  void visit(const PNode* t, const QY& slo, const QY& shi) {
+    if (!t) return;
+    const QY olo = qmax(slo, from);
+    const QY ohi = qmin(shi, to);
+    if (!(olo < ohi)) return;
+    work::count(Op::OracleStep);
+
+    // Conservative f64 pruning. zlo/zhi are outward-rounded subtree bounds;
+    // widen the query side too, so "prune" is only ever a true negative.
+    const double sa = s.approx_at(olo), sb = s.approx_at(ohi);
+    const double smin = std::min(sa, sb) - 0.25, smax = std::max(sa, sb) + 0.25;
+    if (smin > static_cast<double>(t->zhi)) {
+      // Every piece in the subtree is strictly below s: entry states are all
+      // +1 and crossings are impossible. At most one boundary event.
+      if (state != +1) {
+        const PieceData& p = leftmost(t, olo);
+        state = +1;
+        out.push_back({olo, state, p.edge, EventKind::Break});
+        work::count(Op::MergeEvent);
+      }
+      return;
+    }
+    if (smax < static_cast<double>(t->zlo)) {
+      // s strictly below every piece: entry states all -1, no crossings.
+      if (state != -1) {
+        const PieceData& p = leftmost(t, olo);
+        state = -1;
+        out.push_back({olo, state, p.edge, EventKind::Break});
+        work::count(Op::MergeEvent);
+      }
+      return;
+    }
+    visit(t->l, slo, t->piece.y0);
+    do_piece(t->piece);
+    visit(t->r, t->piece.y1, shi);
+  }
+};
+
+}  // namespace
+
+int state_after(ptreap::Ref t, const Seg2& s, const QY& y, std::span<const Seg2> segs) {
+  const PieceData* p = ptreap::piece_at(t, y, Side::After);
+  THSR_CHECK(p != nullptr);
+  return state_of(s, resolve_seg(segs, p->edge), y);
+}
+
+int walk_transitions(ptreap::Ref t, const Seg2& s, const QY& from, const QY& to,
+                     std::span<const Seg2> segs, std::vector<TransitionEvent>& out) {
+  THSR_DCHECK(from < to);
+  work::count(Op::OracleQuery);
+  const int initial = state_after(t, s, from, segs);
+  Walker w{s, from, to, segs, out, initial};
+  w.visit(t, QY::of(-kMaxCoord), QY::of(kMaxCoord));
+  return initial;
+}
+
+int walk_transitions_scan(std::span<const PieceData> pieces, const Seg2& s, const QY& from,
+                          const QY& to, std::span<const Seg2> segs,
+                          std::vector<TransitionEvent>& out) {
+  THSR_DCHECK(from < to);
+  work::count(Op::OracleQuery);
+  // Skip pieces entirely before the window.
+  auto it = std::partition_point(pieces.begin(), pieces.end(),
+                                 [&](const PieceData& p) { return p.y1 <= from; });
+  int state = 0;
+  bool first = true;
+  int initial = 0;
+  for (; it != pieces.end() && it->y0 < to; ++it) {
+    const PieceData& p = *it;
+    work::count(Op::OracleStep);
+    const QY lo = qmax(from, p.y0), hi = qmin(to, p.y1);
+    if (!(lo < hi)) continue;
+    const Seg2& q = resolve_seg(segs, p.edge);
+    const int entry = state_of(s, q, lo);
+    if (first) {
+      initial = state = entry;
+      first = false;
+    } else if (entry != state) {
+      out.push_back({lo, entry, p.edge, EventKind::Break});
+      work::count(Op::MergeEvent);
+      state = entry;
+    }
+    if (auto cr = crossing_in(s, q, lo, hi)) {
+      state = -state;
+      out.push_back({*cr, state, p.edge, EventKind::Cross});
+      work::count(Op::Crossing);
+    }
+  }
+  THSR_CHECK(!first);  // full coverage: some piece always overlaps
+  return initial;
+}
+
+bool strictly_above_at(ptreap::Ref t, const QY& y, i64 w, std::span<const Seg2> segs) {
+  for (const Side side : {Side::Before, Side::After}) {
+    if (const PieceData* p = ptreap::piece_at(t, y, side)) {
+      if (cmp_value_vs_int(resolve_seg(segs, p->edge), y, w) >= 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace thsr

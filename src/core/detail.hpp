@@ -1,0 +1,47 @@
+#pragma once
+/// \file detail.hpp
+/// Shared implementation context for the HSR algorithms (internal header).
+
+#include <chrono>
+
+#include "cg/profile_query.hpp"
+#include "core/hsr.hpp"
+#include "separator/depth_order.hpp"
+
+namespace thsr::detail {
+
+struct Timer {
+  std::chrono::steady_clock::time_point t0{std::chrono::steady_clock::now()};
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+};
+
+/// Precomputed per-run context shared by all algorithms: the image-plane
+/// segment table (dummy entries for slivers, which are never queried as
+/// segments) and the front-to-back depth order.
+struct HsrContext {
+  const Terrain* terrain{nullptr};
+  std::vector<Seg2> segs;
+  std::vector<unsigned char> is_sliver;
+  DepthOrder order;
+  u64 n_slivers{0};
+};
+
+HsrContext make_context(const Terrain& t);
+
+/// Normalize a profile-edge id for output provenance (floor => none).
+inline u32 provenance(u32 profile_edge) noexcept {
+  return profile_edge == kFloorEdge ? kNoEdge : profile_edge;
+}
+
+/// Convert a transition walk over [a, b] into visible pieces of `edge`.
+void emit_visible(u32 edge, const QY& a, const QY& b, int initial,
+                  std::span<const TransitionEvent> events, VisibilityMap& map);
+
+VisibilityMap run_reference(const HsrContext& ctx, HsrStats& stats);
+VisibilityMap run_sequential(const HsrContext& ctx, HsrStats& stats);
+VisibilityMap run_parallel(const HsrContext& ctx, HsrStats& stats, bool layer_stats,
+                           Phase2Oracle oracle);
+
+}  // namespace thsr::detail

@@ -1,0 +1,98 @@
+#include "core/hsr.hpp"
+
+#include "core/detail.hpp"
+#include "parallel/backend.hpp"
+
+namespace thsr {
+
+const char* algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::Reference: return "reference";
+    case Algorithm::Sequential: return "sequential";
+    case Algorithm::Parallel: return "parallel";
+  }
+  return "?";
+}
+
+namespace detail {
+
+HsrContext make_context(const Terrain& t) {
+  HsrContext ctx;
+  ctx.terrain = &t;
+  const auto n = static_cast<u32>(t.edge_count());
+  ctx.segs.resize(n, Seg2{0, 0, 1, 0});
+  ctx.is_sliver.resize(n, 0);
+  for (u32 e = 0; e < n; ++e) {
+    if (t.is_sliver(e)) {
+      ctx.is_sliver[e] = 1;
+      ++ctx.n_slivers;
+    } else {
+      ctx.segs[e] = t.image_segment(e);
+    }
+  }
+  ctx.order = compute_depth_order(t);
+  return ctx;
+}
+
+void emit_visible(u32 edge, const QY& a, const QY& b, int initial,
+                  std::span<const TransitionEvent> events, VisibilityMap& map) {
+  int state = initial;
+  QY open_y = a;
+  EndpointKind open_k = EndpointKind::SegmentEnd;
+  u32 open_o = kNoEdge;
+  for (const TransitionEvent& ev : events) {
+    if (ev.new_state == state) continue;  // defensive: walks never emit these
+    if (ev.new_state == +1) {
+      open_y = ev.y;
+      open_k = ev.kind == EventKind::Cross ? EndpointKind::Crossing : EndpointKind::Break;
+      open_o = provenance(ev.profile_edge);
+    } else if (state == +1) {
+      map.add_piece(edge, VisiblePiece{open_y, ev.y, open_k,
+                                       ev.kind == EventKind::Cross ? EndpointKind::Crossing
+                                                                   : EndpointKind::Break,
+                                       open_o, provenance(ev.profile_edge)});
+    }
+    state = ev.new_state;
+  }
+  if (state == +1) {
+    map.add_piece(edge, VisiblePiece{open_y, b, open_k, EndpointKind::SegmentEnd, open_o, kNoEdge});
+  }
+}
+
+}  // namespace detail
+
+HsrResult hidden_surface_removal(const Terrain& t, const HsrOptions& opt) {
+  const int prev_threads = par::max_threads();
+  if (opt.threads > 0) par::set_threads(opt.threads);
+
+  detail::Timer total;
+  HsrStats stats;
+  work::reset();
+  const work::Scope scope;
+
+  detail::Timer order_timer;
+  detail::HsrContext ctx = detail::make_context(t);
+  stats.order_s = order_timer.seconds();
+  stats.n_edges = t.edge_count();
+  stats.n_slivers = ctx.n_slivers;
+  stats.depth_constraints = ctx.order.constraints;
+
+  VisibilityMap map{t.edge_count()};
+  switch (opt.algorithm) {
+    case Algorithm::Reference: map = detail::run_reference(ctx, stats); break;
+    case Algorithm::Sequential: map = detail::run_sequential(ctx, stats); break;
+    case Algorithm::Parallel:
+      map = detail::run_parallel(ctx, stats, opt.collect_layer_stats, opt.phase2_oracle);
+      break;
+  }
+
+  stats.k_pieces = map.k_pieces();
+  stats.k_crossings = map.k_crossings();
+  stats.total_s = total.seconds();
+  stats.work = scope.delta();
+
+  if (opt.threads > 0) par::set_threads(prev_threads);
+  return HsrResult{std::move(map), std::move(stats)};
+}
+
+}  // namespace thsr

@@ -1,0 +1,86 @@
+#pragma once
+/// \file hsr.hpp
+/// Public entry point: object-space hidden-surface removal for polyhedral
+/// terrains, reproducing Gupta & Sen (IPPS 1998).
+///
+/// Three interchangeable algorithms compute the *identical* visibility map
+/// (exact arithmetic; the equivalence is asserted by the test suite):
+///
+///  * Reference  — incremental flat-envelope scan; simple, independent code
+///                 path used as the correctness oracle. O((n+k)·|profile|)
+///                 worst case: not output-sensitive.
+///  * Sequential — Reif–Sen-style edge-at-a-time processing over the
+///                 persistent profile with polylog queries per edge:
+///                 O((n+k)·polylog n), the paper's sequential baseline [19].
+///  * Parallel   — the paper's algorithm: depth order via the separator
+///                 substrate, PCT phase 1 (intermediate envelopes), PCT
+///                 phase 2 (systolic prefix merging over persistent profile
+///                 versions). Work O((n+k)·polylog n), span polylog; realized
+///                 on OpenMP (DESIGN.md section 1).
+///
+/// Example:
+/// \code
+///   thsr::GenOptions gen{.family = thsr::Family::Fbm, .grid = 64};
+///   thsr::Terrain t = thsr::make_terrain(gen);
+///   thsr::HsrResult r = thsr::hidden_surface_removal(t);
+///   std::cout << r.stats.k_pieces << " visible pieces\n";
+/// \endcode
+
+#include "core/visibility.hpp"
+#include "parallel/work_depth.hpp"
+#include "terrain/terrain.hpp"
+
+namespace thsr {
+
+enum class Algorithm { Reference, Sequential, Parallel };
+
+const char* algorithm_name(Algorithm a) noexcept;
+
+/// Phase-2 intersection oracle (Parallel algorithm only).
+///  * Persistent       — the paper's design: shared persistent profile
+///                       versions queried by pruned descent (default).
+///  * MaterializedScan — ablation: materialize the inherited profile at
+///                       every PCT node and scan it linearly; identical
+///                       output, cost Theta(sum over nodes of |P_v|) — what
+///                       the persistence is there to avoid (bench E12).
+enum class Phase2Oracle { Persistent, MaterializedScan };
+
+struct HsrOptions {
+  Algorithm algorithm{Algorithm::Parallel};
+  int threads{0};                 ///< 0 = current par::max_threads()
+  bool collect_layer_stats{false};  ///< fill HsrStats::layers (Parallel only)
+  Phase2Oracle phase2_oracle{Phase2Oracle::Persistent};
+};
+
+/// Per-PCT-layer instrumentation (benches table_f1 / table_f3).
+struct LayerStats {
+  u32 layer{0};
+  u32 nodes{0};              ///< PCT nodes processed at this layer
+  u64 pieces_consumed{0};    ///< sum of |Π_left(v)| walked
+  u64 events{0};             ///< above/below transitions found
+  u64 splices{0};            ///< persistent range replacements
+  u64 treap_nodes{0};        ///< nodes allocated during this layer
+  u64 profile_pieces{0};     ///< sum over nodes of |P_v| (logical version sizes);
+                             ///< what naive per-node profile copies would cost
+};
+
+struct HsrStats {
+  double order_s{0}, phase1_s{0}, phase2_s{0}, total_s{0};
+  u64 n_edges{0}, n_slivers{0};
+  u64 k_pieces{0}, k_crossings{0};
+  u64 depth_constraints{0};
+  u64 phase1_pieces{0};  ///< total intermediate-envelope pieces (Σ over PCT)
+  u64 treap_nodes{0};    ///< persistent nodes allocated over the whole run
+  Counters work;         ///< operation counters for the run (work bound proxy)
+  std::vector<LayerStats> layers;
+};
+
+struct HsrResult {
+  VisibilityMap map;
+  HsrStats stats;
+};
+
+/// Solve hidden-surface removal for `t` viewed from x = +infinity.
+HsrResult hidden_surface_removal(const Terrain& t, const HsrOptions& opt = {});
+
+}  // namespace thsr

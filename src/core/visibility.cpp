@@ -1,0 +1,52 @@
+#include "core/visibility.hpp"
+
+namespace thsr {
+
+u64 VisibilityMap::k_pieces() const noexcept {
+  u64 k = 0;
+  for (const auto& v : pieces_) k += v.size();
+  for (const auto& s : slivers_) {
+    if (s && s->visible) ++k;
+  }
+  return k;
+}
+
+u64 VisibilityMap::k_crossings() const noexcept {
+  u64 k = 0;
+  for (const auto& v : pieces_) {
+    for (const VisiblePiece& p : v) {
+      k += (p.k0 == EndpointKind::Crossing) + (p.k1 == EndpointKind::Crossing);
+    }
+  }
+  return k;
+}
+
+double VisibilityMap::visible_length() const noexcept {
+  double total = 0;
+  for (const auto& v : pieces_) {
+    for (const VisiblePiece& p : v) total += p.y1.approx() - p.y0.approx();
+  }
+  return total;
+}
+
+std::optional<u32> VisibilityMap::first_difference(const VisibilityMap& other) const {
+  const std::size_t n = std::min(pieces_.size(), other.pieces_.size());
+  if (pieces_.size() != other.pieces_.size()) return static_cast<u32>(n);
+  for (u32 e = 0; e < n; ++e) {
+    const auto &a = pieces_[e], &b = other.pieces_[e];
+    if (a.size() != b.size()) return e;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].y0 != b[i].y0 || a[i].y1 != b[i].y1) return e;
+    }
+    const auto &sa = slivers_[e], &sb = other.slivers_[e];
+    if (sa.has_value() != sb.has_value()) return e;
+    if (sa && (sa->visible != sb->visible ||
+               (sa->visible && (sa->blocking_before != sb->blocking_before ||
+                                sa->blocking_after != sb->blocking_after)))) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace thsr

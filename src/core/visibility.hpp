@@ -1,0 +1,84 @@
+#pragma once
+/// \file visibility.hpp
+/// The object-space output of hidden-surface removal: for every terrain
+/// edge, the maximal sub-segments of its image-plane projection that are
+/// visible from the viewer (paper section 1.1: "a combinatorial description
+/// of the visible scene which can then be rendered on any display device").
+///
+/// Endpoints carry provenance — segment end, crossing with a profile edge
+/// (an image vertex), or profile breakpoint (a T-vertex) — so the visible
+/// image can be assembled as a planar graph. The output size k of the paper
+/// is reported as k_pieces (maximal visible pieces incl. visible slivers)
+/// and k_crossings (crossing-type endpoints).
+///
+/// All coordinates are exact rationals: two algorithms are *equal* when
+/// their piece lists match exactly, which is what the equivalence tests
+/// assert (no tolerances).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/exactq.hpp"
+
+namespace thsr {
+
+inline constexpr u32 kNoEdge = 0xfffffffeu;
+
+enum class EndpointKind : unsigned char {
+  SegmentEnd,  ///< endpoint of the input edge's projection
+  Crossing,    ///< transversal crossing with a visible profile piece
+  Break,       ///< profile discontinuity (T-vertex) or floor boundary
+};
+
+/// A maximal visible sub-segment [y0, y1] of a (non-sliver) edge.
+struct VisiblePiece {
+  QY y0, y1;
+  EndpointKind k0{EndpointKind::SegmentEnd}, k1{EndpointKind::SegmentEnd};
+  u32 other0{kNoEdge}, other1{kNoEdge};  ///< profile edge at each endpoint, if any
+};
+
+/// Visibility of a sliver edge (vertical image segment at ordinate y).
+struct SliverVisibility {
+  bool visible{false};
+  u32 blocking_before{kNoEdge};  ///< profile edge at (y-, .) when present
+  u32 blocking_after{kNoEdge};   ///< profile edge at (y+, .)
+};
+
+class VisibilityMap {
+ public:
+  explicit VisibilityMap(std::size_t n_edges) : pieces_(n_edges), slivers_(n_edges) {}
+
+  /// Append a visible piece of `edge`. Pieces of one edge must be appended
+  /// in increasing y (each edge is produced by exactly one walk/task).
+  void add_piece(u32 edge, VisiblePiece p) {
+    THSR_DCHECK(p.y0 < p.y1);
+    THSR_DCHECK(pieces_[edge].empty() || pieces_[edge].back().y1 <= p.y0);
+    pieces_[edge].push_back(std::move(p));
+  }
+
+  void set_sliver(u32 edge, SliverVisibility s) { slivers_[edge] = s; }
+
+  std::span<const VisiblePiece> pieces(u32 edge) const { return pieces_[edge]; }
+  const std::optional<SliverVisibility>& sliver(u32 edge) const { return slivers_[edge]; }
+  std::size_t edge_slots() const noexcept { return pieces_.size(); }
+
+  /// Output-size measures.
+  u64 k_pieces() const noexcept;     ///< visible pieces + visible slivers
+  u64 k_crossings() const noexcept;  ///< Crossing-kind endpoints (image vertices)
+
+  /// Total visible length in the image plane (approximate; reporting only).
+  double visible_length() const noexcept;
+
+  /// Exact geometric equality of piece intervals and sliver visibility
+  /// (endpoint provenance is not compared: algorithms may legitimately
+  /// classify the same abscissa via different event kinds). On mismatch
+  /// returns the offending edge id.
+  std::optional<u32> first_difference(const VisibilityMap& other) const;
+
+ private:
+  std::vector<std::vector<VisiblePiece>> pieces_;           // indexed by edge id
+  std::vector<std::optional<SliverVisibility>> slivers_;    // engaged for sliver edges
+};
+
+}  // namespace thsr

@@ -1,0 +1,77 @@
+#include "envelope/build.hpp"
+
+#include "parallel/backend.hpp"
+
+namespace thsr {
+namespace {
+
+constexpr std::size_t kParCutoff = 1024;
+
+Envelope build_rec(std::span<const u32> ids, std::span<const Seg2> segs, bool parallel) {
+  if (ids.empty()) return Envelope{};
+  if (ids.size() == 1) return Envelope::of_segment(ids[0], segs[ids[0]]);
+  const std::size_t m = ids.size() / 2;
+  Envelope l, r;
+  par::fork_join([&] { l = build_rec(ids.subspan(0, m), segs, parallel); },
+                 [&] { r = build_rec(ids.subspan(m), segs, parallel); },
+                 parallel && ids.size() >= kParCutoff);
+  if (parallel && l.size() + r.size() >= 4 * kParCutoff) {
+    return merge_envelopes_parallel(l, r, segs, 2 * par::max_threads());
+  }
+  return merge_envelopes(l, r, segs);
+}
+
+}  // namespace
+
+Envelope envelope_of(std::span<const u32> ids, std::span<const Seg2> segs, bool parallel) {
+  if (!parallel || par::max_threads() <= 1) return build_rec(ids, segs, false);
+  Envelope out;
+  par::run_root_task([&] { out = build_rec(ids, segs, true); });
+  return out;
+}
+
+Envelope merge_envelopes_parallel(const Envelope& front, const Envelope& back,
+                                  std::span<const Seg2> segs, int strips) {
+  if (front.empty() || back.empty() || strips <= 1 ||
+      front.size() + back.size() < static_cast<std::size_t>(4 * strips)) {
+    return merge_envelopes(front, back, segs);
+  }
+  // Cut abscissae sampled from the larger envelope's piece starts.
+  const Envelope& big = front.size() >= back.size() ? front : back;
+  std::vector<QY> cuts;
+  cuts.reserve(static_cast<std::size_t>(strips) + 1);
+  const QY lo = qmin(front.piece(0).y0, back.piece(0).y0);
+  const QY hi = qmax(front.pieces().back().y1, back.pieces().back().y1);
+  cuts.push_back(lo);
+  for (int s = 1; s < strips; ++s) {
+    const std::size_t idx = big.size() * static_cast<std::size_t>(s) / static_cast<std::size_t>(strips);
+    const QY c = big.piece(idx).y0;
+    if (c > cuts.back() && c < hi) cuts.push_back(c);
+  }
+  cuts.push_back(hi);
+
+  const auto nseg = static_cast<i64>(cuts.size()) - 1;
+  std::vector<Envelope> parts(static_cast<std::size_t>(nseg));
+  par::parallel_for(
+      nseg,
+      [&](i64 s) {
+        const auto su = static_cast<std::size_t>(s);
+        parts[su] = merge_envelopes(cut_envelope(front, cuts[su], cuts[su + 1]),
+                                    cut_envelope(back, cuts[su], cuts[su + 1]), segs);
+      },
+      /*grain=*/1);
+
+  std::vector<EnvPiece> out;
+  for (const Envelope& part : parts) {
+    for (const EnvPiece& p : part.pieces()) {
+      if (!out.empty() && out.back().edge == p.edge && out.back().y1 == p.y0) {
+        out.back().y1 = p.y1;  // heal seams split by a cut
+      } else {
+        out.push_back(p);
+      }
+    }
+  }
+  return Envelope::from_pieces(std::move(out));
+}
+
+}  // namespace thsr

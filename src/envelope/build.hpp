@@ -1,0 +1,24 @@
+#pragma once
+/// \file build.hpp
+/// Envelope construction (paper Lemma 3.1): divide-and-conquer with exact
+/// scan merges; task-parallel over sibling halves and strip-parallel inside
+/// large merges near the root. Work O(m·alpha(m)·log m), depth polylog with
+/// enough workers.
+
+#include "envelope/envelope.hpp"
+
+namespace thsr {
+
+/// Upper envelope of segments `ids` (indices into `segs`). Front-to-back
+/// input order: the earlier id wins exact ties (occluder-wins convention).
+Envelope envelope_of(std::span<const u32> ids, std::span<const Seg2> segs,
+                     bool parallel = false);
+
+/// Strip-parallel pointwise max of two envelopes: cuts the domain at
+/// `strips` sample abscissae and merges strips concurrently. Identical
+/// result to merge_envelopes (crossing events are not reported — pass
+/// events=nullptr semantics only).
+Envelope merge_envelopes_parallel(const Envelope& front, const Envelope& back,
+                                  std::span<const Seg2> segs, int strips);
+
+}  // namespace thsr

@@ -1,0 +1,69 @@
+#include "envelope/envelope.hpp"
+
+#include <algorithm>
+
+namespace thsr {
+
+std::optional<std::size_t> Envelope::piece_index_at(const QY& y, Side side) const {
+  if (pieces_.empty()) return std::nullopt;
+  // First piece with y0 >= y.
+  auto it = std::lower_bound(pieces_.begin(), pieces_.end(), y,
+                             [](const EnvPiece& p, const QY& v) { return p.y0 < v; });
+  if (side == Side::After) {
+    // Piece covering (y, y+eps): either starts exactly at y, or the previous
+    // piece extends strictly beyond y.
+    if (it != pieces_.end() && it->y0 == y) return static_cast<std::size_t>(it - pieces_.begin());
+    if (it == pieces_.begin()) return std::nullopt;
+    --it;
+    if (it->y1 > y) return static_cast<std::size_t>(it - pieces_.begin());
+    return std::nullopt;
+  }
+  // Side::Before: piece covering (y-eps, y).
+  if (it == pieces_.begin()) return std::nullopt;
+  --it;
+  if (it->y1 >= y && it->y0 < y) return static_cast<std::size_t>(it - pieces_.begin());
+  return std::nullopt;
+}
+
+void Envelope::validate(std::span<const Seg2> segs) const {
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    const EnvPiece& p = pieces_[i];
+    THSR_CHECK(p.y0 < p.y1);
+    THSR_CHECK(p.edge < segs.size());
+    const Seg2& s = segs[p.edge];
+    THSR_CHECK(cmp(p.y0, s.u0) >= 0 && cmp(p.y1, s.u1) <= 0);
+    if (i > 0) THSR_CHECK(pieces_[i - 1].y1 <= p.y0);
+    if (i > 0 && pieces_[i - 1].edge == p.edge) {
+      THSR_CHECK(pieces_[i - 1].y1 < p.y0);  // maximality: same-edge pieces are separated
+    }
+  }
+}
+
+bool Envelope::dominates_all_at(const QY& y, Side side, std::span<const Seg2> segs,
+                                std::span<const u32> ids) const {
+  const auto idx = piece_index_at(y, side);
+  for (u32 id : ids) {
+    const Seg2& s = segs[id];
+    // Segment defined on the relevant side of y?
+    const bool defined = side == Side::After ? (cmp(y, s.u0) >= 0 && cmp(y, s.u1) < 0)
+                                             : (cmp(y, s.u0) > 0 && cmp(y, s.u1) <= 0);
+    if (!defined) continue;
+    if (!idx) return false;  // gap but a segment is live: not an upper envelope
+    if (cmp_value_near(segs[pieces_[*idx].edge], s, y, side) < 0) return false;
+  }
+  return true;
+}
+
+Envelope cut_envelope(const Envelope& e, const QY& lo, const QY& hi) {
+  std::vector<EnvPiece> out;
+  for (const EnvPiece& p : e.pieces()) {
+    if (cmp(p.y1, lo) <= 0 || cmp(p.y0, hi) >= 0) continue;
+    EnvPiece q = p;
+    if (cmp(q.y0, lo) < 0) q.y0 = lo;
+    if (cmp(q.y1, hi) > 0) q.y1 = hi;
+    if (q.y0 < q.y1) out.push_back(q);
+  }
+  return Envelope::from_pieces(std::move(out));
+}
+
+}  // namespace thsr

@@ -1,0 +1,93 @@
+#pragma once
+/// \file envelope.hpp
+/// Upper envelopes ("profiles") of image-plane segments — the objects the
+/// whole paper manipulates (its profiles, intermediate profiles, and the
+/// visibility structure are all upper envelopes of terrain edge projections).
+///
+/// An Envelope is a maximal-piece decomposition: pieces sorted by start
+/// abscissa, pairwise disjoint interiors, each piece a restriction of one
+/// input segment to an exact rational interval [y0, y1]. Ordinates not
+/// covered by any piece are gaps, where the envelope is -infinity. Envelope
+/// size obeys the Davenport–Schinzel bound O(m·alpha(m)) — measured in bench
+/// table_e5_envelope.
+///
+/// Geometry is referenced, not stored: piece.edge indexes a caller-supplied
+/// segment table (`std::span<const Seg2>`), so pieces are 40 bytes and
+/// phase 1 can afford to materialize every PCT node's envelope.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/predicates.hpp"
+
+namespace thsr {
+
+/// One maximal piece of an envelope: segment `edge` restricted to [y0, y1].
+struct EnvPiece {
+  QY y0, y1;
+  u32 edge{0};
+};
+
+/// Crossing discovered by an envelope merge: at `y`, the envelope hands over
+/// from piece of `from_edge` to piece of `to_edge`.
+struct CrossEvent {
+  QY y;
+  u32 from_edge{0}, to_edge{0};
+};
+
+class Envelope {
+ public:
+  Envelope() = default;
+
+  /// Envelope of a single segment.
+  static Envelope of_segment(u32 edge, const Seg2& s) {
+    Envelope e;
+    e.pieces_.push_back({QY::of(s.u0), QY::of(s.u1), edge});
+    return e;
+  }
+
+  static Envelope from_pieces(std::vector<EnvPiece> pieces) {
+    Envelope e;
+    e.pieces_ = std::move(pieces);
+    return e;
+  }
+
+  bool empty() const noexcept { return pieces_.empty(); }
+  std::size_t size() const noexcept { return pieces_.size(); }
+  std::span<const EnvPiece> pieces() const noexcept { return pieces_; }
+  const EnvPiece& piece(std::size_t i) const { return pieces_[i]; }
+
+  /// Piece active on the open interval adjacent to `y` on `side`, if any.
+  std::optional<std::size_t> piece_index_at(const QY& y, Side side) const;
+
+  /// Edge whose piece covers `y` on `side`; nullopt in gaps.
+  std::optional<u32> edge_at(const QY& y, Side side) const {
+    auto i = piece_index_at(y, side);
+    return i ? std::optional<u32>(pieces_[*i].edge) : std::nullopt;
+  }
+
+  /// Structural invariants (piece ordering/containment); test helper.
+  void validate(std::span<const Seg2> segs) const;
+
+  /// Exact pointwise-max semantics check against every input segment at `y`
+  /// (`side` disambiguates breakpoints); test helper, O(|segs|).
+  bool dominates_all_at(const QY& y, Side side, std::span<const Seg2> segs,
+                        std::span<const u32> ids) const;
+
+ private:
+  std::vector<EnvPiece> pieces_;
+};
+
+/// Pointwise maximum of two envelopes. Ties over an interval resolve to
+/// `front` (the set closer to the viewer — the occluder). Reports each
+/// handover crossing to `events` when non-null. O(|front| + |back| + #cross)
+/// exact scan.
+Envelope merge_envelopes(const Envelope& front, const Envelope& back,
+                         std::span<const Seg2> segs, std::vector<CrossEvent>* events = nullptr);
+
+/// Restriction of an envelope to [lo, hi] (pieces trimmed; test + parallel
+/// merge helper).
+Envelope cut_envelope(const Envelope& e, const QY& lo, const QY& hi);
+
+}  // namespace thsr

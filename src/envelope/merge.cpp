@@ -1,0 +1,79 @@
+#include "envelope/envelope.hpp"
+#include "parallel/work_depth.hpp"
+
+namespace thsr {
+
+Envelope merge_envelopes(const Envelope& front, const Envelope& back,
+                         std::span<const Seg2> segs, std::vector<CrossEvent>* events) {
+  const auto& A = front.pieces();
+  const auto& B = back.pieces();
+  if (A.empty()) return Envelope::from_pieces({B.begin(), B.end()});
+  if (B.empty()) return Envelope::from_pieces({A.begin(), A.end()});
+
+  std::vector<EnvPiece> out;
+  out.reserve(A.size() + B.size());
+  const auto emit = [&](const QY& y0, const QY& y1, u32 edge) {
+    if (!(y0 < y1)) return;
+    if (!out.empty() && out.back().edge == edge && out.back().y1 == y0) {
+      out.back().y1 = y1;
+    } else {
+      out.push_back({y0, y1, edge});
+      work::count(Op::EnvPiece);
+    }
+  };
+
+  std::size_t a = 0, b = 0;
+  QY y = qmin(A[0].y0, B[0].y0);
+  while (true) {
+    while (a < A.size() && A[a].y1 <= y) ++a;
+    while (b < B.size() && B[b].y1 <= y) ++b;
+    if (a >= A.size() && b >= B.size()) break;
+
+    const EnvPiece* pa = (a < A.size() && A[a].y0 <= y) ? &A[a] : nullptr;
+    const EnvPiece* pb = (b < B.size() && B[b].y0 <= y) ? &B[b] : nullptr;
+
+    if (!pa && !pb) {  // gap on both: jump to the next piece start
+      if (a >= A.size()) {
+        y = B[b].y0;
+      } else if (b >= B.size()) {
+        y = A[a].y0;
+      } else {
+        y = qmin(A[a].y0, B[b].y0);
+      }
+      continue;
+    }
+    if (pa && !pb) {  // only the front envelope is live
+      QY end = pa->y1;
+      if (b < B.size()) end = qmin(end, B[b].y0);
+      emit(y, end, pa->edge);
+      y = end;
+      continue;
+    }
+    if (pb && !pa) {
+      QY end = pb->y1;
+      if (a < A.size()) end = qmin(end, A[a].y0);
+      emit(y, end, pb->edge);
+      y = end;
+      continue;
+    }
+
+    // Both live on (y, end): one comparison decides the winner just after y;
+    // at most one line crossing can occur before `end`.
+    const QY end = qmin(pa->y1, pb->y1);
+    const Seg2 &sa = segs[pa->edge], &sb = segs[pb->edge];
+    const int w = cmp_value_near(sa, sb, y, Side::After);  // ties: front occludes
+    const u32 winner = w >= 0 ? pa->edge : pb->edge;
+    if (auto cr = crossing_in(sa, sb, y, end)) {
+      emit(y, *cr, winner);
+      if (events) events->push_back({*cr, winner, w >= 0 ? pb->edge : pa->edge});
+      work::count(Op::Crossing);
+      y = *cr;  // winner is recomputed just after the crossing
+    } else {
+      emit(y, end, winner);
+      y = end;
+    }
+  }
+  return Envelope::from_pieces(std::move(out));
+}
+
+}  // namespace thsr

@@ -1,0 +1,27 @@
+#include "geometry/exactq.hpp"
+
+namespace thsr {
+namespace {
+
+std::string i128_to_string(i128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  // Careful with INT128_MIN; inputs here are far smaller, but stay defensive.
+  unsigned __int128 u = neg ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
+  std::string s;
+  while (u > 0) {
+    s.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  if (neg) s.push_back('-');
+  return {s.rbegin(), s.rend()};
+}
+
+}  // namespace
+
+std::string to_string(const QY& v) {
+  if (v.p % v.q == 0) return i128_to_string(v.p / v.q);
+  return i128_to_string(v.p) + "/" + i128_to_string(v.q);
+}
+
+}  // namespace thsr

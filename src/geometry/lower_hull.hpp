@@ -1,0 +1,51 @@
+#pragma once
+/// \file lower_hull.hpp
+/// Convex chains over (u, v) points in double precision, used as the
+/// augmentation of the Chazelle–Guibas tree (the "lower convex chains" of the
+/// paper, section 3.1). Chains here serve *conservative pruning* only: a
+/// chain test may answer "maybe", never a wrong "no"; exact decisions are
+/// made at tree leaves with the predicates of predicates.hpp. `slack` widens
+/// every test by the caller-supplied margin to absorb double rounding.
+
+#include <span>
+#include <vector>
+
+#include "geometry/exactq.hpp"
+
+namespace thsr {
+
+struct HullPoint {
+  double u{0};
+  double v{0};
+};
+
+/// Convex chain (either hull of a u-sorted point set), points in increasing u.
+using HullChain = std::vector<HullPoint>;
+
+/// Upper convex hull (the chain seen from +v) of u-sorted points.
+HullChain build_upper_hull(std::span<const HullPoint> pts);
+/// Lower convex hull (the chain seen from -v) of u-sorted points.
+HullChain build_lower_hull(std::span<const HullPoint> pts);
+
+/// Hull of the concatenation of two chains with disjoint, ordered u-ranges.
+HullChain merge_upper_hulls(const HullChain& a, const HullChain& b);
+HullChain merge_lower_hulls(const HullChain& a, const HullChain& b);
+
+/// max over chain points of (v_i - (slope*u_i + icept)); the sequence is
+/// concave for an upper hull, so a unimodal search finds it in O(log).
+double max_excess_above(const HullChain& upper, double slope, double icept);
+/// min over chain points of (v_i - (slope*u_i + icept)); convex for a lower
+/// hull, found in O(log).
+double min_excess_below(const HullChain& lower, double slope, double icept);
+
+/// True when some point of the upper chain could lie above the line
+/// (conservative under `slack`).
+inline bool maybe_point_above(const HullChain& upper, double slope, double icept, double slack) {
+  return !upper.empty() && max_excess_above(upper, slope, icept) > -slack;
+}
+/// True when some point of the lower chain could lie below the line.
+inline bool maybe_point_below(const HullChain& lower, double slope, double icept, double slack) {
+  return !lower.empty() && min_excess_below(lower, slope, icept) < slack;
+}
+
+}  // namespace thsr

@@ -1,0 +1,9 @@
+#include "geometry/predicates.hpp"
+
+// All predicates are inline in the header; this translation unit exists to
+// give the header a home in the library and to host out-of-line helpers if
+// predicates grow non-trivial implementations later.
+
+namespace thsr {
+static_assert(sizeof(i128) == 16);
+}  // namespace thsr

@@ -1,0 +1,96 @@
+#pragma once
+/// \file predicates.hpp
+/// Exact geometric predicates on image-plane segments.
+///
+/// A `Seg2` is a non-vertical segment of the plane, viewed as a linear
+/// function v(u) over [u0, u1] through integer endpoints (normalized so
+/// u0 < u1). The same type serves two coordinate frames:
+///   * image plane:  u = y, v = z  (profiles / envelopes / visibility), and
+///   * ground plane: u = y, v = x  (the depth-order plane sweep).
+///
+/// All predicates are exact for integer inputs with |coord| <= kMaxCoord and
+/// rational abscissae produced by line_crossing (DESIGN.md section 5).
+
+#include <optional>
+
+#include "geometry/exactq.hpp"
+
+namespace thsr {
+
+/// Non-vertical segment through integer points, u0 < u1.
+struct Seg2 {
+  i64 u0{0}, v0{0}, u1{1}, v1{0};
+
+  constexpr Seg2() = default;
+  constexpr Seg2(i64 a, i64 b, i64 c, i64 d) : u0(a), v0(b), u1(c), v1(d) {
+    THSR_DCHECK(u0 < u1);
+  }
+
+  /// Line coefficients of A*u - B*v = C with B = du > 0.
+  constexpr i64 A() const noexcept { return v1 - v0; }
+  constexpr i64 B() const noexcept { return u1 - u0; }
+  constexpr i128 C() const noexcept { return i128{A()} * u0 - i128{B()} * v0; }
+
+  /// Approximate value at u (pruning only; never used for decisions).
+  double approx_at(double u) const noexcept {
+    return static_cast<double>(v0) +
+           (u - static_cast<double>(u0)) * static_cast<double>(A()) / static_cast<double>(B());
+  }
+  double approx_at(const QY& u) const noexcept { return approx_at(u.approx()); }
+
+  friend constexpr bool operator==(const Seg2&, const Seg2&) = default;
+};
+
+/// Which side of an abscissa a comparison refers to when values tie:
+/// `After` compares on (y, y+eps), `Before` on (y-eps, y).
+enum class Side { Before, After };
+
+/// sign(v_a(y) - v_b(y)) at an exact rational abscissa, as extended lines.
+inline int cmp_value_at(const Seg2& a, const Seg2& b, const QY& y) noexcept {
+  const i128 fa = mul128(a.A(), y.p) - mul128(a.C(), y.q);  // = v_a(y) * (B_a * q)
+  const i128 fb = mul128(b.A(), y.p) - mul128(b.C(), y.q);
+  return sgn128(mul128(fa, b.B()) - mul128(fb, a.B()));
+}
+
+/// sign(slope_a - slope_b).
+inline int cmp_slope(const Seg2& a, const Seg2& b) noexcept {
+  return sgn128(i128{a.A()} * b.B() - i128{b.A()} * a.B());
+}
+
+/// sign(v_a - v_b) on an open interval immediately before/after y.
+/// Returns 0 only when the supporting lines coincide.
+inline int cmp_value_near(const Seg2& a, const Seg2& b, const QY& y, Side side) noexcept {
+  if (const int c = cmp_value_at(a, b, y); c != 0) return c;
+  const int s = cmp_slope(a, b);
+  return side == Side::After ? s : -s;
+}
+
+/// sign(v_a(y) - w) against an integer ordinate w.
+inline int cmp_value_vs_int(const Seg2& a, const QY& y, i64 w) noexcept {
+  const i128 fa = mul128(a.A(), y.p) - mul128(a.C(), y.q);  // v_a(y) * (B_a * q)
+  return sgn128(fa - mul128(mul128(a.B(), y.q), w));
+}
+
+/// True when the supporting lines are identical.
+inline bool same_line(const Seg2& a, const Seg2& b) noexcept {
+  return i128{a.A()} * b.B() == i128{b.A()} * a.B() &&
+         mul128(a.C(), b.B()) == mul128(b.C(), a.B());
+}
+
+/// Crossing abscissa of the two supporting lines, if they are not parallel.
+inline std::optional<QY> line_crossing(const Seg2& a, const Seg2& b) noexcept {
+  const i128 det = i128{a.A()} * b.B() - i128{b.A()} * a.B();
+  if (det == 0) return std::nullopt;
+  const i128 num = mul128(a.C(), b.B()) - mul128(b.C(), a.B());
+  return QY(num, det);
+}
+
+/// Crossing of the supporting lines restricted to the open interval (lo, hi).
+inline std::optional<QY> crossing_in(const Seg2& a, const Seg2& b, const QY& lo,
+                                     const QY& hi) noexcept {
+  auto y = line_crossing(a, b);
+  if (!y || cmp(*y, lo) <= 0 || cmp(*y, hi) >= 0) return std::nullopt;
+  return y;
+}
+
+}  // namespace thsr

@@ -1,0 +1,62 @@
+#include "io/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace thsr {
+
+Table& Table::row(std::vector<std::string> cells) {
+  THSR_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream ss;
+  ss.precision(precision);
+  ss << std::fixed << v;
+  return ss.str();
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+std::string Table::num(unsigned long long v) { return std::to_string(v); }
+
+void Table::print_markdown(std::ostream& os) const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(w[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  line(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(w[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& r : rows_) line(r);
+  os.flush();
+}
+
+void Table::maybe_write_csv(const std::string& name) const {
+  const char* flag = std::getenv("THSR_BENCH_CSV");
+  if (!flag || std::string(flag) != "1") return;
+  std::ofstream os(name + ".csv");
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) os << cells[c] << (c + 1 < cells.size() ? "," : "");
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& r : rows_) line(r);
+  std::cerr << "wrote " << name << ".csv\n";
+}
+
+}  // namespace thsr

@@ -1,0 +1,33 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal table builder for the benchmark harness: every table bench
+/// prints a Markdown table (the rows EXPERIMENTS.md cites) and optionally
+/// writes CSV next to it when THSR_BENCH_CSV=1.
+
+#include <string>
+#include <vector>
+
+namespace thsr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string num(long long v);
+  static std::string num(unsigned long long v);
+
+  void print_markdown(std::ostream& os) const;
+
+  /// Honors THSR_BENCH_CSV=1; writes `<name>.csv` into the working directory.
+  void maybe_write_csv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace thsr

@@ -1,0 +1,103 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace thsr {
+namespace {
+
+struct Frame {
+  double y0, y1, z0, z1;  // world bounds (image plane)
+  int w, h;
+  double sx, sy;
+
+  Frame(const Terrain& t, const SvgOptions& opt) : w(opt.width), h(opt.height) {
+    y0 = z0 = 1e300;
+    y1 = z1 = -1e300;
+    for (const Vertex3& v : t.vertices()) {
+      y0 = std::min(y0, static_cast<double>(v.y));
+      y1 = std::max(y1, static_cast<double>(v.y));
+      z0 = std::min(z0, static_cast<double>(v.z));
+      z1 = std::max(z1, static_cast<double>(v.z));
+    }
+    if (y1 <= y0) y1 = y0 + 1;
+    if (z1 <= z0) z1 = z0 + 1;
+    sx = (w - 20.0) / (y1 - y0);
+    sy = (h - 20.0) / (z1 - z0);
+  }
+  double px(double y) const { return 10.0 + (y - y0) * sx; }
+  double pz(double z) const { return h - 10.0 - (z - z0) * sy; }
+};
+
+class Svg {
+ public:
+  Svg(const std::string& path, int w, int h) : os_(path) {
+    if (!os_) throw std::runtime_error("svg: cannot open " + path);
+    os_ << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w << "' height='" << h
+        << "' viewBox='0 0 " << w << ' ' << h << "'>\n"
+        << "<rect width='100%' height='100%' fill='white'/>\n";
+  }
+  ~Svg() { os_ << "</svg>\n"; }
+  void line(double x1, double y1, double x2, double y2, const std::string& color, double width,
+            double opacity = 1.0) {
+    os_ << "<line x1='" << x1 << "' y1='" << y1 << "' x2='" << x2 << "' y2='" << y2
+        << "' stroke='" << color << "' stroke-width='" << width << "' stroke-opacity='" << opacity
+        << "'/>\n";
+  }
+
+ private:
+  std::ofstream os_;
+};
+
+void draw_wireframe(Svg& svg, const Frame& f, const Terrain& t, const std::string& color,
+                    double width, double opacity) {
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    const Edge& ed = t.edges()[e];
+    const Vertex3 &a = t.vertex(ed.a), &b = t.vertex(ed.b);
+    svg.line(f.px(static_cast<double>(a.y)), f.pz(static_cast<double>(a.z)),
+             f.px(static_cast<double>(b.y)), f.pz(static_cast<double>(b.z)), color, width,
+             opacity);
+  }
+}
+
+}  // namespace
+
+void render_visibility_svg(const Terrain& t, const VisibilityMap& map, const std::string& path,
+                           const SvgOptions& opt) {
+  const Frame f(t, opt);
+  Svg svg(path, opt.width, opt.height);
+  if (opt.draw_hidden) draw_wireframe(svg, f, t, opt.hidden_color, 0.6, 0.8);
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    if (t.is_sliver(e)) {
+      if (const auto& s = map.sliver(e); s && s->visible) {
+        const SliverInfo sv = t.sliver(e);
+        svg.line(f.px(static_cast<double>(sv.y)), f.pz(static_cast<double>(sv.z_lo)),
+                 f.px(static_cast<double>(sv.y)), f.pz(static_cast<double>(sv.z_hi)),
+                 opt.visible_color, 1.4);
+      }
+      continue;
+    }
+    const Seg2 s = t.image_segment(e);
+    for (const VisiblePiece& p : map.pieces(e)) {
+      const double ya = p.y0.approx(), yb = p.y1.approx();
+      svg.line(f.px(ya), f.pz(s.approx_at(ya)), f.px(yb), f.pz(s.approx_at(yb)),
+               opt.visible_color, 1.4);
+    }
+  }
+}
+
+void render_envelope_svg(const Terrain& t, const Envelope& env, std::span<const Seg2> segs,
+                         const std::string& path, const SvgOptions& opt) {
+  const Frame f(t, opt);
+  Svg svg(path, opt.width, opt.height);
+  if (opt.draw_hidden) draw_wireframe(svg, f, t, opt.hidden_color, 0.6, 0.8);
+  for (const EnvPiece& p : env.pieces()) {
+    const Seg2& s = segs[p.edge];
+    const double ya = p.y0.approx(), yb = p.y1.approx();
+    svg.line(f.px(ya), f.pz(s.approx_at(ya)), f.px(yb), f.pz(s.approx_at(yb)),
+             opt.envelope_color, 1.8);
+  }
+}
+
+}  // namespace thsr

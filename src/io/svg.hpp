@@ -1,0 +1,32 @@
+#pragma once
+/// \file svg.hpp
+/// SVG rendering of the image plane (z-y): terrain wireframes, envelopes,
+/// and visibility maps — the "rendering procedure" consuming the
+/// object-space output (paper section 2). Used by the examples.
+
+#include <string>
+
+#include "core/visibility.hpp"
+#include "envelope/envelope.hpp"
+#include "terrain/terrain.hpp"
+
+namespace thsr {
+
+struct SvgOptions {
+  int width{1200};
+  int height{500};
+  bool draw_hidden{true};        ///< faint full wireframe under the visible scene
+  std::string visible_color{"#0b6623"};
+  std::string hidden_color{"#cccccc"};
+  std::string envelope_color{"#c1121f"};
+};
+
+/// Visible scene (and optionally the hidden wireframe) of `map` over `t`.
+void render_visibility_svg(const Terrain& t, const VisibilityMap& map, const std::string& path,
+                           const SvgOptions& opt = {});
+
+/// An envelope drawn over the full wireframe (debug/illustration).
+void render_envelope_svg(const Terrain& t, const Envelope& env, std::span<const Seg2> segs,
+                         const std::string& path, const SvgOptions& opt = {});
+
+}  // namespace thsr

@@ -1,0 +1,46 @@
+#include "parallel/backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace thsr::par {
+namespace {
+std::atomic<int> g_threads{0};  // 0 = not set yet: use hardware default
+}
+
+int max_threads() noexcept {
+  const int p = g_threads.load(std::memory_order_relaxed);
+  if (p > 0) return p;
+#ifdef THSR_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return std::max(1u, std::thread::hardware_concurrency());
+#endif
+}
+
+void set_threads(int p) noexcept {
+  p = std::max(1, p);
+  g_threads.store(p, std::memory_order_relaxed);
+#ifdef THSR_HAVE_OPENMP
+  omp_set_num_threads(p);
+#endif
+}
+
+bool in_parallel() noexcept {
+#ifdef THSR_HAVE_OPENMP
+  return omp_in_parallel();
+#else
+  return false;
+#endif
+}
+
+int worker_index() noexcept {
+#ifdef THSR_HAVE_OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace thsr::par

@@ -1,0 +1,83 @@
+#pragma once
+/// \file backend.hpp
+/// Shared-memory fork-join backend: the repo's realization of the CREW PRAM.
+///
+/// A CREW PRAM step "for all i in parallel do f(i)" maps to parallel_for;
+/// recursive divide-and-conquer maps to fork_join inside run_root_task.
+/// Concurrent *reads* of immutable shared structures are allowed everywhere
+/// (the CREW discipline); writes are always to thread-private or freshly
+/// allocated state. With OpenMP absent the backend degrades to serial
+/// execution with identical results (determinism tests rely on this).
+
+#include <cstdint>
+#include <utility>
+
+#include "geometry/exactq.hpp"
+
+#ifdef THSR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace thsr::par {
+
+/// Number of workers the next parallel region will use.
+int max_threads() noexcept;
+
+/// Set the worker count for subsequent parallel regions (1 = serial).
+void set_threads(int p) noexcept;
+
+/// True when called from inside a parallel region.
+bool in_parallel() noexcept;
+
+/// Index of the calling worker in [0, max_threads()).
+int worker_index() noexcept;
+
+/// PRAM-style "in parallel for all i in [0, n)". Dynamic schedule: the
+/// practical counterpart of the paper's processor-allocation step
+/// (slow-down Lemma 2.1); measured in bench table_e9_slowdown.
+template <typename F>
+void parallel_for(i64 n, F&& f, i64 grain = 256) {
+#ifdef THSR_HAVE_OPENMP
+  if (n > grain && max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel for schedule(dynamic, 16)
+    for (i64 i = 0; i < n; ++i) f(i);
+    return;
+  }
+#endif
+  (void)grain;
+  for (i64 i = 0; i < n; ++i) f(i);
+}
+
+/// Run `f` as the root of a task tree (opens one parallel region).
+template <typename F>
+void run_root_task(F&& f) {
+#ifdef THSR_HAVE_OPENMP
+  if (max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel
+#pragma omp single nowait
+    { f(); }
+    return;
+  }
+#endif
+  f();
+}
+
+/// Execute a and b, possibly concurrently; returns after both complete.
+/// Must be called (transitively) from run_root_task for parallelism to occur.
+template <typename A, typename B>
+void fork_join(A&& a, B&& b, bool parallel_ok = true) {
+#ifdef THSR_HAVE_OPENMP
+  if (parallel_ok && omp_in_parallel()) {
+#pragma omp task default(shared) untied
+    { a(); }
+    b();
+#pragma omp taskwait
+    return;
+  }
+#endif
+  (void)parallel_ok;
+  a();
+  b();
+}
+
+}  // namespace thsr::par

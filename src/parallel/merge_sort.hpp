@@ -1,0 +1,77 @@
+#pragma once
+/// \file merge_sort.hpp
+/// Parallel merge (split the larger input at its median, binary-search the
+/// partner — Shiloach–Vishkin style, the paper's reference [23]) and the
+/// merge sort built on it. Work O(n log n), depth O(log^2 n) with enough
+/// workers; serial std fallbacks below the grain size.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "parallel/backend.hpp"
+
+namespace thsr::par {
+
+namespace detail {
+
+template <typename T, typename Cmp>
+void merge_rec(std::span<const T> a, std::span<const T> b, std::span<T> out, Cmp cmp,
+               i64 grain) {
+  if (a.size() < b.size()) {
+    merge_rec(b, a, out, cmp, grain);
+    return;
+  }
+  if (static_cast<i64>(a.size() + b.size()) <= grain || b.empty()) {
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), cmp);
+    return;
+  }
+  const std::size_t ma = a.size() / 2;
+  const std::size_t mb = static_cast<std::size_t>(
+      std::lower_bound(b.begin(), b.end(), a[ma], cmp) - b.begin());
+  out[ma + mb] = a[ma];
+  fork_join(
+      [&] { merge_rec(a.subspan(0, ma), b.subspan(0, mb), out.subspan(0, ma + mb), cmp, grain); },
+      [&] {
+        merge_rec(a.subspan(ma + 1), b.subspan(mb), out.subspan(ma + mb + 1), cmp, grain);
+      });
+}
+
+template <typename T, typename Cmp>
+void sort_rec(std::span<T> xs, std::span<T> buf, Cmp cmp, i64 grain, bool xs_is_dst) {
+  if (static_cast<i64>(xs.size()) <= grain) {
+    std::sort(xs.begin(), xs.end(), cmp);
+    if (!xs_is_dst) std::copy(xs.begin(), xs.end(), buf.begin());
+    return;
+  }
+  const std::size_t m = xs.size() / 2;
+  fork_join([&] { sort_rec(xs.subspan(0, m), buf.subspan(0, m), cmp, grain, !xs_is_dst); },
+            [&] { sort_rec(xs.subspan(m), buf.subspan(m), cmp, grain, !xs_is_dst); });
+  auto src = xs_is_dst ? buf : xs;
+  auto dst = xs_is_dst ? xs : buf;
+  merge_rec(std::span<const T>(src.subspan(0, m)), std::span<const T>(src.subspan(m)), dst, cmp,
+            grain);
+}
+
+}  // namespace detail
+
+/// Merge two sorted ranges into `out` (out.size() == a.size()+b.size()).
+template <typename T, typename Cmp = std::less<T>>
+void parallel_merge(std::span<const T> a, std::span<const T> b, std::span<T> out, Cmp cmp = {},
+                    i64 grain = 8192) {
+  THSR_CHECK(out.size() == a.size() + b.size());
+  run_root_task([&] { detail::merge_rec(a, b, out, cmp, grain); });
+}
+
+/// Stable-output parallel merge sort (not stable; use ids as tie-breaks).
+template <typename T, typename Cmp = std::less<T>>
+void parallel_sort(std::span<T> xs, Cmp cmp = {}, i64 grain = 8192) {
+  if (static_cast<i64>(xs.size()) <= grain || max_threads() <= 1) {
+    std::sort(xs.begin(), xs.end(), cmp);
+    return;
+  }
+  std::vector<T> buf(xs.size());
+  run_root_task([&] { detail::sort_rec(xs, std::span<T>(buf), cmp, grain, /*xs_is_dst=*/true); });
+}
+
+}  // namespace thsr::par

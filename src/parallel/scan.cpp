@@ -1,0 +1,12 @@
+#include "parallel/scan.hpp"
+
+namespace thsr::par {
+
+std::vector<u64> exclusive_scan(std::span<const u64> xs) {
+  auto inc = inclusive_scan<u64>(xs, u64{0}, [](u64 a, u64 b) { return a + b; });
+  std::vector<u64> out(xs.size() + 1, 0);
+  for (std::size_t i = 0; i < inc.size(); ++i) out[i + 1] = inc[i];
+  return out;
+}
+
+}  // namespace thsr::par

@@ -1,0 +1,56 @@
+#pragma once
+/// \file scan.hpp
+/// Parallel prefix (Ladner–Fischer, the paper's reference [9]) realized as
+/// the standard two-pass blocked scan: per-block reduction, serial scan of
+/// the O(p) block sums, then per-block prefix with offsets. Work O(n),
+/// depth O(n/p + p). Phase 2 of the HSR algorithm is "an approach similar to
+/// the systolic implementation of parallel prefix" (paper section 2.1); this
+/// is the flat-array counterpart used for offsets and run stitching.
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "geometry/exactq.hpp"
+#include "parallel/backend.hpp"
+
+namespace thsr::par {
+
+/// Exclusive prefix sums; returns n+1 values, last = total.
+std::vector<u64> exclusive_scan(std::span<const u64> xs);
+
+/// Generic inclusive scan with associative op (serial fallback for small n).
+template <typename T, typename Op>
+std::vector<T> inclusive_scan(std::span<const T> xs, T identity, Op op) {
+  const i64 n = static_cast<i64>(xs.size());
+  std::vector<T> out(xs.size());
+  const int p = max_threads();
+  if (n < 4096 || p <= 1) {
+    T acc = identity;
+    for (i64 i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = acc = op(acc, xs[static_cast<std::size_t>(i)]);
+    return out;
+  }
+  const i64 nblocks = std::min<i64>(4 * p, n);
+  const i64 bsz = (n + nblocks - 1) / nblocks;
+  std::vector<T> block_sum(static_cast<std::size_t>(nblocks), identity);
+  parallel_for(nblocks, [&](i64 b) {
+    T acc = identity;
+    const i64 lo = b * bsz, hi = std::min(n, lo + bsz);
+    for (i64 i = lo; i < hi; ++i) acc = op(acc, xs[static_cast<std::size_t>(i)]);
+    block_sum[static_cast<std::size_t>(b)] = acc;
+  }, 1);
+  T run = identity;
+  std::vector<T> block_off(static_cast<std::size_t>(nblocks), identity);
+  for (i64 b = 0; b < nblocks; ++b) {
+    block_off[static_cast<std::size_t>(b)] = run;
+    run = op(run, block_sum[static_cast<std::size_t>(b)]);
+  }
+  parallel_for(nblocks, [&](i64 b) {
+    T acc = block_off[static_cast<std::size_t>(b)];
+    const i64 lo = b * bsz, hi = std::min(n, lo + bsz);
+    for (i64 i = lo; i < hi; ++i) out[static_cast<std::size_t>(i)] = acc = op(acc, xs[static_cast<std::size_t>(i)]);
+  }, 1);
+  return out;
+}
+
+}  // namespace thsr::par

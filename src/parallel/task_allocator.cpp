@@ -1,0 +1,72 @@
+#include "parallel/task_allocator.hpp"
+
+#include <chrono>
+
+#include "parallel/backend.hpp"
+
+namespace thsr::par {
+namespace {
+
+// Opaque spin so the optimizer cannot elide the work.
+u64 spin(u32 iters) noexcept {
+  volatile u64 acc = 0x9e3779b97f4a7c15ull;
+  for (u32 i = 0; i < iters; ++i) acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+  return acc;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void run_all(std::span<const u32> costs, [[maybe_unused]] Schedule sched) {
+#ifdef THSR_HAVE_OPENMP
+  switch (sched) {
+    case Schedule::StaticBlock: omp_set_schedule(omp_sched_static, 0); break;
+    case Schedule::StaticCyclic: omp_set_schedule(omp_sched_static, 1); break;
+    case Schedule::Dynamic: omp_set_schedule(omp_sched_dynamic, 1); break;
+    case Schedule::Guided: omp_set_schedule(omp_sched_guided, 1); break;
+  }
+  const i64 n = static_cast<i64>(costs.size());
+#pragma omp parallel for schedule(runtime)
+  for (i64 i = 0; i < n; ++i) spin(costs[static_cast<std::size_t>(i)]);
+#else
+  for (u32 c : costs) spin(c);
+#endif
+}
+
+}  // namespace
+
+const char* schedule_name(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::StaticBlock: return "static";
+    case Schedule::StaticCyclic: return "static,1";
+    case Schedule::Dynamic: return "dynamic";
+    case Schedule::Guided: return "guided";
+  }
+  return "?";
+}
+
+AllocReport run_synthetic_tasks(std::span<const u32> costs, int p, Schedule sched) {
+  AllocReport r;
+  r.tasks = costs.size();
+  for (u32 c : costs) r.total_cost += c;
+
+  const int prev = max_threads();
+  set_threads(1);
+  double t0 = now_s();
+  run_all(costs, Schedule::StaticBlock);
+  r.serial_s = now_s() - t0;
+
+  set_threads(p);
+  t0 = now_s();
+  run_all(costs, sched);
+  r.wall_s = now_s() - t0;
+  set_threads(prev);
+
+  r.ideal_s = r.serial_s / p;
+  r.overhead_s = r.wall_s - r.ideal_s;
+  return r;
+}
+
+}  // namespace thsr::par

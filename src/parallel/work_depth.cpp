@@ -1,0 +1,45 @@
+#include "parallel/work_depth.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace thsr::work {
+namespace {
+
+struct Bucket {
+  Counters c;
+};
+
+std::mutex g_mu;
+std::vector<Bucket*>& registry() {
+  static std::vector<Bucket*> r;
+  return r;
+}
+
+Bucket& local_bucket() {
+  thread_local Bucket* b = [] {
+    auto* fresh = new Bucket();  // intentionally leaked: lives as long as the thread registry
+    std::lock_guard<std::mutex> lk(g_mu);
+    registry().push_back(fresh);
+    return fresh;
+  }();
+  return *b;
+}
+
+}  // namespace
+
+void count(Op op, u64 n) noexcept { local_bucket().c.v[static_cast<std::size_t>(op)] += n; }
+
+Counters snapshot() noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  Counters total;
+  for (const Bucket* b : registry()) total += b->c;
+  return total;
+}
+
+void reset() noexcept {
+  std::lock_guard<std::mutex> lk(g_mu);
+  for (Bucket* b : registry()) b->c = Counters{};
+}
+
+}  // namespace thsr::work

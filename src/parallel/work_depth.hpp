@@ -1,0 +1,75 @@
+#pragma once
+/// \file work_depth.hpp
+/// Machine-independent work accounting. The paper's bounds are stated in
+/// PRAM operations; wall-clock on a 2..N-core host cannot validate them
+/// directly, so the library counts the operations that dominate each bound
+/// (exact comparisons, crossings found, persistent nodes created, oracle
+/// queries, envelope pieces touched) in thread-local buckets with negligible
+/// overhead. Benches E1/E3/E4/E8 report these counters against the claimed
+/// asymptotics.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "geometry/exactq.hpp"
+
+namespace thsr {
+
+enum class Op : unsigned {
+  ExactCmp = 0,     ///< exact rational predicate evaluations
+  Crossing,         ///< envelope/profile crossings discovered
+  TreapNode,        ///< persistent nodes allocated (path copies + fresh)
+  OracleQuery,      ///< first-crossing / next-transition queries issued
+  OracleStep,       ///< tree nodes visited inside oracle descents
+  EnvPiece,         ///< envelope pieces produced by phase-1 merges
+  MergeEvent,       ///< above/below transition events in phase-2 merges
+  kCount,
+};
+
+inline constexpr std::array<std::string_view, static_cast<std::size_t>(Op::kCount)> kOpNames{
+    "exact_cmp", "crossing", "treap_node", "oracle_query",
+    "oracle_step", "env_piece", "merge_event"};
+
+struct Counters {
+  std::array<u64, static_cast<std::size_t>(Op::kCount)> v{};
+  u64 operator[](Op op) const noexcept { return v[static_cast<std::size_t>(op)]; }
+  u64 total() const noexcept {
+    u64 s = 0;
+    for (auto x : v) s += x;
+    return s;
+  }
+  Counters& operator+=(const Counters& o) noexcept {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] += o.v[i];
+    return *this;
+  }
+};
+
+namespace work {
+
+/// Record `n` operations of kind `op` on the calling thread. O(1), no locks.
+void count(Op op, u64 n = 1) noexcept;
+
+/// Sum all threads' counters accumulated since the last reset.
+Counters snapshot() noexcept;
+
+/// Zero all threads' counters.
+void reset() noexcept;
+
+/// RAII scope that reports the counter delta it observed.
+class Scope {
+ public:
+  Scope() { start_ = snapshot(); }
+  Counters delta() const noexcept {
+    Counters now = snapshot();
+    Counters d;
+    for (std::size_t i = 0; i < d.v.size(); ++i) d.v[i] = now.v[i] - start_.v[i];
+    return d;
+  }
+
+ private:
+  Counters start_;
+};
+
+}  // namespace work
+}  // namespace thsr

@@ -1,0 +1,129 @@
+#pragma once
+/// \file ptreap.hpp
+/// Partially persistent treap of profile pieces — the realization of the
+/// paper's persistent visibility structure (its reference [6], Driscoll–
+/// Sarnak–Sleator–Tarjan). Phase 2 of the algorithm materializes many prefix
+/// profiles P_0 … P_n that share almost all of their structure (Figure 3 of
+/// the paper); here each profile is an immutable version (a root pointer)
+/// and every update path-copies O(log) nodes, leaving all published versions
+/// readable concurrently (the CREW discipline).
+///
+/// Keys are piece start abscissae. Priorities are *content hashes*, so the
+/// tree shape depends only on the piece set, not on operation history: runs
+/// with different thread counts or merge schedules produce bit-identical
+/// structures (pinned by tests/test_determinism.cpp).
+///
+/// Profiles maintain *full coverage*: a version always covers
+/// [-kMaxCoord, kMaxCoord] with no gaps, thanks to pseudo-edge kFloorEdge
+/// (a constant segment at z = -kMaxCoord, strictly below every admissible
+/// terrain vertex). Full coverage lets queries derive exact subtree spans
+/// from ancestor keys alone — no per-node coverage storage — and makes the
+/// conservative z-box pruning in cg/profile_query.cpp sound.
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "envelope/envelope.hpp"
+
+namespace thsr {
+
+/// Pseudo-edge id for the floor piece.
+inline constexpr u32 kFloorEdge = 0xffffffffu;
+
+/// The floor segment: constant z = -kMaxCoord over the whole admissible
+/// y-range. Terrain vertices satisfy |z| < kMaxCoord, so real geometry is
+/// always strictly above the floor.
+inline const Seg2& floor_seg() noexcept {
+  static const Seg2 s{-kMaxCoord, -kMaxCoord, kMaxCoord, -kMaxCoord};
+  return s;
+}
+
+/// Segment of a (possibly pseudo) edge id.
+inline const Seg2& resolve_seg(std::span<const Seg2> segs, u32 edge) noexcept {
+  return edge == kFloorEdge ? floor_seg() : segs[edge];
+}
+
+/// One profile piece: `edge` restricted to [y0, y1).
+struct PieceData {
+  QY y0, y1;
+  u32 edge{kFloorEdge};
+};
+
+/// Immutable persistent node. Fields are written once at construction and
+/// never mutated after the node becomes reachable from a published version.
+struct PNode {
+  const PNode* l{nullptr};
+  const PNode* r{nullptr};
+  PieceData piece;
+  u64 prio{0};        ///< content hash (shape determinism)
+  u32 count{1};       ///< subtree piece count
+  float zlo{0}, zhi{0};  ///< conservative subtree z-range (outward-rounded)
+};
+
+/// Bump allocator for persistent nodes. Thread-safe: each thread fills its
+/// own blocks; the arena owns all memory until destruction (versions are
+/// only valid while their arena lives).
+class PArena {
+ public:
+  PArena() = default;
+  PArena(const PArena&) = delete;
+  PArena& operator=(const PArena&) = delete;
+  ~PArena();
+
+  PNode* alloc();
+
+  /// Total nodes ever allocated (persistence cost metric, bench table_f3).
+  u64 node_count() const noexcept;
+
+ private:
+  struct Block;
+  struct ThreadSlot;
+  ThreadSlot& local_slot();
+
+  mutable std::mutex mu_;
+  std::vector<Block*> blocks_;
+  std::vector<ThreadSlot*> slots_;
+  const u64 id_{next_id()};  ///< unique per arena, never recycled
+
+  static u64 next_id() noexcept;
+};
+
+/// Persistent treap operations. All functions are pure with respect to their
+/// inputs: they return new roots and never mutate reachable nodes.
+namespace ptreap {
+
+using Ref = const PNode*;
+
+/// The initial profile P_0: just the floor.
+Ref make_floor(PArena& a);
+
+/// Build a version from sorted, contiguous pieces (test/bootstrap helper).
+Ref from_pieces(PArena& a, std::span<const PieceData> pieces, std::span<const Seg2> segs);
+
+/// New version with [lo, hi) replaced by `run` (sorted pieces covering
+/// [lo, hi) exactly). Pieces straddling lo/hi are cut; the covered interior
+/// is dropped wholesale (an O(log) split), which is where the merge's
+/// output-sensitivity comes from. O((|run| + log n) log n) node copies.
+Ref replace_range(PArena& a, Ref t, const QY& lo, const QY& hi, std::span<const PieceData> run,
+                  std::span<const Seg2> segs);
+
+/// Piece covering the open interval adjacent to y on `side`; nullptr when y
+/// is outside the version's coverage.
+const PieceData* piece_at(Ref t, const QY& y, Side side) noexcept;
+
+u32 count(Ref t) noexcept;
+
+/// In-order dump of all pieces.
+void collect(Ref t, std::vector<PieceData>& out);
+
+/// Flat envelope with floor pieces dropped and contiguous same-edge pieces
+/// merged (cross-validation against envelope/).
+Envelope materialize(Ref t, bool drop_floor = true);
+
+/// Debug invariant check: key order, heap order, contiguity, exact coverage.
+void validate(Ref t, std::span<const Seg2> segs);
+
+}  // namespace ptreap
+}  // namespace thsr

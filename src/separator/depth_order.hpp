@@ -1,0 +1,46 @@
+#pragma once
+/// \file depth_order.hpp
+/// Front-to-back ordering of terrain edges (paper section 3, step 1).
+///
+/// Edge e is *in front of* f (e ≺ f) when some viewing ray meets e first;
+/// equivalently, at some common ordinate y the ground projections satisfy
+/// x_e(y) > x_f(y). Because ground projections of a terrain never properly
+/// cross, the sign is constant over the common span, ≺ is a partial order,
+/// and disjoint plane segments always admit a depth order. The paper obtains
+/// a linear extension from the Tamassia–Vitter separator tree (Fact 1); this
+/// repo substitutes a plane sweep that records O(n) x-adjacency constraints
+/// (at edge insertion and removal events) plus a deterministic Kahn
+/// topological sort — any linear extension yields the identical visibility
+/// map (DESIGN.md section 4.2), which tests/test_order.cpp verifies against
+/// the O(n^2) pairwise validator below.
+///
+/// Degenerate "sliver" edges (dy == 0) are ordered by a point insertion at
+/// their ordinate: the nearest strictly-front neighbour precedes them, the
+/// nearest strictly-behind neighbour follows them. Sliver-on-sliver
+/// occlusion at an identical ordinate is outside the general-position
+/// contract; the convention (resolve slivers against the non-sliver profile
+/// only) is shared by all algorithms and pinned in tests/test_degenerate.cpp.
+
+#include <vector>
+
+#include "terrain/terrain.hpp"
+
+namespace thsr {
+
+struct DepthOrder {
+  std::vector<u32> order;  ///< edge ids, front (closest to viewer) first
+  std::vector<u32> rank;   ///< rank[edge id] = position in `order`
+  u64 constraints{0};      ///< adjacency constraints recorded by the sweep
+};
+
+/// Compute a front-to-back linear extension for all edges of `t`.
+/// Deterministic: ties in the topological sort break by smallest edge id.
+DepthOrder compute_depth_order(const Terrain& t);
+
+/// Exhaustive pairwise check (test helper): true iff `order` ranks every
+/// strictly-comparable pair front-first. Examines at most `pair_limit`
+/// pairs; returns true vacuously beyond the budget.
+bool validate_depth_order(const Terrain& t, std::span<const u32> order,
+                          std::size_t pair_limit = 4'000'000);
+
+}  // namespace thsr

@@ -1,0 +1,26 @@
+#include "separator/separator_tree.hpp"
+
+namespace thsr {
+
+SeparatorTree::SeparatorTree(u32 n) {
+  THSR_CHECK(n >= 1);
+  nodes_.reserve(2 * static_cast<std::size_t>(n));
+  root_ = build(0, n, 0);
+}
+
+u32 SeparatorTree::build(u32 lo, u32 hi, u32 depth) {
+  const u32 id = static_cast<u32>(nodes_.size());
+  nodes_.push_back(PctNode{lo, hi, kNoNode, kNoNode});
+  if (by_level_.size() <= depth) by_level_.emplace_back();
+  by_level_[depth].push_back(id);
+  if (hi - lo > 1) {
+    const u32 mid = lo + (hi - lo) / 2;
+    const u32 l = build(lo, mid, depth + 1);
+    const u32 r = build(mid, hi, depth + 1);
+    nodes_[id].left = l;
+    nodes_[id].right = r;
+  }
+  return id;
+}
+
+}  // namespace thsr

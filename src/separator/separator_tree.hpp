@@ -1,0 +1,48 @@
+#pragma once
+/// \file separator_tree.hpp
+/// The balanced recursion tree over the depth-ordered edges: the skeleton of
+/// the paper's Profile Computation Tree (PCT). Leaves are single edges in
+/// front-to-back order; an internal node covers the contiguous rank range
+/// [lo, hi) with children [lo, mid) and [mid, hi). Phase 1 computes an
+/// intermediate envelope per node bottom-up; phase 2 walks the layers
+/// top-down (paper sections 2.1 and 3).
+
+#include <span>
+#include <vector>
+
+#include "geometry/exactq.hpp"
+
+namespace thsr {
+
+inline constexpr u32 kNoNode = 0xffffffffu;
+
+struct PctNode {
+  u32 lo{0}, hi{0};          ///< rank range [lo, hi)
+  u32 left{kNoNode};         ///< child covering [lo, mid)
+  u32 right{kNoNode};        ///< child covering [mid, hi)
+  u32 mid() const noexcept { return lo + (hi - lo) / 2; }
+  bool leaf() const noexcept { return hi - lo <= 1; }
+};
+
+class SeparatorTree {
+ public:
+  /// Build the balanced tree over n ordered leaves (n >= 1).
+  explicit SeparatorTree(u32 n);
+
+  u32 root() const noexcept { return root_; }
+  u32 size() const noexcept { return static_cast<u32>(nodes_.size()); }
+  u32 levels() const noexcept { return static_cast<u32>(by_level_.size()); }
+  const PctNode& node(u32 id) const { return nodes_[id]; }
+
+  /// Node ids at layer `l` (root = layer 0).
+  std::span<const u32> level(u32 l) const { return by_level_[l]; }
+
+ private:
+  u32 build(u32 lo, u32 hi, u32 depth);
+
+  std::vector<PctNode> nodes_;
+  std::vector<std::vector<u32>> by_level_;
+  u32 root_{kNoNode};
+};
+
+}  // namespace thsr

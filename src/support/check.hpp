@@ -1,0 +1,24 @@
+#pragma once
+/// \file check.hpp
+/// Contract-checking macros (Core Guidelines I.6/I.8 style). THSR_CHECK is
+/// always on and is used for cheap invariants on public boundaries;
+/// THSR_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace thsr::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "thsr: check failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace thsr::detail
+
+#define THSR_CHECK(expr) \
+  ((expr) ? (void)0 : ::thsr::detail::check_failed(#expr, __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define THSR_DCHECK(expr) ((void)0)
+#else
+#define THSR_DCHECK(expr) THSR_CHECK(expr)
+#endif

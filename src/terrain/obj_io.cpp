@@ -1,0 +1,82 @@
+#include "terrain/obj_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace thsr {
+
+void save_obj(const Terrain& t, std::ostream& os) {
+  os << "# thsr terrain: " << t.vertex_count() << " vertices, " << t.triangle_count()
+     << " triangles\n";
+  for (const Vertex3& v : t.vertices()) {
+    os << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  for (const Triangle& tr : t.triangles()) {
+    os << "f " << tr.a + 1 << ' ' << tr.b + 1 << ' ' << tr.c + 1 << '\n';
+  }
+}
+
+void save_obj(const Terrain& t, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_obj: cannot open " + path);
+  save_obj(t, os);
+}
+
+Terrain load_obj(std::istream& is, double scale) {
+  std::vector<Vertex3> verts;
+  std::vector<Triangle> tris;
+  std::string line;
+  std::size_t lineno = 0;
+  const auto quantize = [&](double v) {
+    const double s = v * scale;
+    if (std::abs(s) > static_cast<double>(kMaxCoord)) {
+      throw std::runtime_error("load_obj: coordinate out of range at line " +
+                               std::to_string(lineno));
+    }
+    return static_cast<i64>(std::llround(s));
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag.empty() || tag[0] == '#') continue;
+    if (tag == "v") {
+      double x, y, z;
+      if (!(ls >> x >> y >> z)) {
+        throw std::runtime_error("load_obj: bad vertex at line " + std::to_string(lineno));
+      }
+      verts.push_back({quantize(x), quantize(y), quantize(z)});
+    } else if (tag == "f") {
+      long a, b, c;
+      if (!(ls >> a >> b >> c)) {
+        throw std::runtime_error("load_obj: bad face at line " + std::to_string(lineno));
+      }
+      long extra;
+      if (ls >> extra) {
+        throw std::runtime_error("load_obj: non-triangular face at line " +
+                                 std::to_string(lineno));
+      }
+      const auto fix = [&](long i) {
+        const long n = static_cast<long>(verts.size());
+        if (i < 0) i = n + 1 + i;  // OBJ negative indexing
+        if (i < 1 || i > n) {
+          throw std::runtime_error("load_obj: face index out of range at line " +
+                                   std::to_string(lineno));
+        }
+        return static_cast<u32>(i - 1);
+      };
+      tris.push_back({fix(a), fix(b), fix(c)});
+    }
+  }
+  return Terrain::from_triangles(std::move(verts), std::move(tris));
+}
+
+Terrain load_obj(const std::string& path, double scale) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_obj: cannot open " + path);
+  return load_obj(is, scale);
+}
+
+}  // namespace thsr

@@ -1,0 +1,25 @@
+#pragma once
+/// \file obj_io.hpp
+/// Wavefront-OBJ-subset IO for terrains: `v x y z` vertices and `f i j k`
+/// triangular faces (1-based). Floating-point vertices are quantized onto
+/// the integer grid required by the exact predicates (DESIGN.md section 5);
+/// `scale` controls the quantization resolution.
+
+#include <iosfwd>
+#include <string>
+
+#include "terrain/terrain.hpp"
+
+namespace thsr {
+
+/// Write the terrain as OBJ.
+void save_obj(const Terrain& t, std::ostream& os);
+void save_obj(const Terrain& t, const std::string& path);
+
+/// Load a triangle-mesh OBJ; coordinates are multiplied by `scale` and
+/// rounded to integers. Throws std::runtime_error on parse errors, bound
+/// violations, or non-triangular faces.
+Terrain load_obj(std::istream& is, double scale = 1.0);
+Terrain load_obj(const std::string& path, double scale = 1.0);
+
+}  // namespace thsr

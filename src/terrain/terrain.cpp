@@ -1,0 +1,103 @@
+#include "terrain/terrain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace thsr {
+namespace {
+
+// Exact orientation of c relative to segment a->b in the ground plane (y,x).
+int orient_ground(const Vertex3& a, const Vertex3& b, const Vertex3& c) {
+  const i128 d = i128{b.y - a.y} * (c.x - a.x) - i128{b.x - a.x} * (c.y - a.y);
+  return sgn128(d);
+}
+
+bool proper_cross(const Vertex3& a0, const Vertex3& a1, const Vertex3& b0, const Vertex3& b1) {
+  const int o1 = orient_ground(a0, a1, b0), o2 = orient_ground(a0, a1, b1);
+  const int o3 = orient_ground(b0, b1, a0), o4 = orient_ground(b0, b1, a1);
+  return o1 * o2 < 0 && o3 * o4 < 0;
+}
+
+}  // namespace
+
+Terrain Terrain::from_triangles(std::vector<Vertex3> vertices, std::vector<Triangle> triangles) {
+  Terrain t;
+  t.vertices_ = std::move(vertices);
+  t.triangles_ = std::move(triangles);
+
+  for (const Vertex3& v : t.vertices_) {
+    if (std::abs(v.x) > kMaxCoord || std::abs(v.y) > kMaxCoord || std::abs(v.z) > kMaxCoord) {
+      throw std::invalid_argument("Terrain: coordinate exceeds kMaxCoord (2^21)");
+    }
+  }
+  // z = f(x,y): no two vertices share a ground position.
+  {
+    std::vector<u32> idx(t.vertices_.size());
+    for (u32 i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](u32 i, u32 j) {
+      const Vertex3 &a = t.vertices_[i], &b = t.vertices_[j];
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    });
+    for (std::size_t i = 1; i < idx.size(); ++i) {
+      const Vertex3 &a = t.vertices_[idx[i - 1]], &b = t.vertices_[idx[i]];
+      if (a.x == b.x && a.y == b.y) {
+        throw std::invalid_argument("Terrain: duplicate ground position (not a function z=f(x,y))");
+      }
+    }
+  }
+
+  std::vector<Edge> es;
+  es.reserve(t.triangles_.size() * 3);
+  const auto n_verts = static_cast<u32>(t.vertices_.size());
+  for (const Triangle& tr : t.triangles_) {
+    THSR_CHECK(tr.a < n_verts && tr.b < n_verts && tr.c < n_verts);
+    THSR_CHECK(tr.a != tr.b && tr.b != tr.c && tr.a != tr.c);
+    THSR_CHECK(orient_ground(t.vertices_[tr.a], t.vertices_[tr.b], t.vertices_[tr.c]) != 0);
+    const auto mk = [](u32 p, u32 q) { return Edge{std::min(p, q), std::max(p, q)}; };
+    es.push_back(mk(tr.a, tr.b));
+    es.push_back(mk(tr.b, tr.c));
+    es.push_back(mk(tr.a, tr.c));
+  }
+  std::sort(es.begin(), es.end());
+  es.erase(std::unique(es.begin(), es.end()), es.end());
+  t.edges_ = std::move(es);
+
+  if (!t.vertices_.empty()) {
+    t.min_y_ = t.max_y_ = t.vertices_[0].y;
+    for (const Vertex3& v : t.vertices_) {
+      t.min_y_ = std::min(t.min_y_, v.y);
+      t.max_y_ = std::max(t.max_y_, v.y);
+      t.max_abs_ = std::max({t.max_abs_, std::abs(v.x), std::abs(v.y), std::abs(v.z)});
+    }
+  }
+  return t;
+}
+
+Terrain Terrain::rotate_ground(i64 a, i64 b) const {
+  THSR_CHECK(a != 0 || b != 0);
+  std::vector<Vertex3> vs(vertices_.begin(), vertices_.end());
+  for (Vertex3& v : vs) {
+    const i64 x = a * v.x - b * v.y;
+    const i64 y = b * v.x + a * v.y;
+    v.x = x;
+    v.y = y;
+  }
+  return from_triangles(std::move(vs), {triangles_.begin(), triangles_.end()});
+}
+
+bool Terrain::projections_planar(std::size_t pair_limit) const {
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges_.size(); ++j) {
+      if (++checked > pair_limit) return true;  // budget exhausted: vacuous pass
+      const Edge &e = edges_[i], &f = edges_[j];
+      if (proper_cross(vertices_[e.a], vertices_[e.b], vertices_[f.a], vertices_[f.b])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace thsr

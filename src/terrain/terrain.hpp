@@ -1,0 +1,121 @@
+#pragma once
+/// \file terrain.hpp
+/// Polyhedral terrain model (TIN). A terrain is a piecewise-linear surface
+/// z = f(x, y): a triangulated straight-line graph whose vertices carry
+/// integer coordinates and whose ground projection is a planar subdivision
+/// (paper section 2). The viewer sits at x = +infinity looking along -x;
+/// the image plane is z-y.
+///
+/// Edges are the unit of processing in every HSR algorithm here. An edge
+/// whose ground projection is parallel to the viewing axis (dy == 0)
+/// projects to a zero-width vertical "sliver" in the image plane; such edges
+/// are excluded from envelopes and handled by the sliver path (DESIGN.md
+/// section 4.5).
+
+#include <span>
+#include <vector>
+
+#include "geometry/predicates.hpp"
+
+namespace thsr {
+
+struct Vertex3 {
+  i64 x{0}, y{0}, z{0};
+  friend constexpr bool operator==(const Vertex3&, const Vertex3&) = default;
+};
+
+struct Triangle {
+  u32 a{0}, b{0}, c{0};
+};
+
+/// Canonical undirected edge: a < b as vertex indices.
+struct Edge {
+  u32 a{0}, b{0};
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Degenerate edge (dy == 0): a vertical segment {y} x [zlo, zhi] in the
+/// image plane, with ground x-extent [xlo, xhi].
+struct SliverInfo {
+  i64 y{0};
+  i64 x_lo{0}, x_hi{0};
+  i64 z_lo{0}, z_hi{0};
+};
+
+class Terrain {
+ public:
+  Terrain() = default;
+
+  /// Build from a triangle soup; computes the unique edge set and validates
+  /// coordinate bounds and the z = f(x,y) property (no duplicate (x,y)).
+  static Terrain from_triangles(std::vector<Vertex3> vertices, std::vector<Triangle> triangles);
+
+  std::size_t vertex_count() const noexcept { return vertices_.size(); }
+  std::size_t triangle_count() const noexcept { return triangles_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  const Vertex3& vertex(u32 i) const { return vertices_[i]; }
+  std::span<const Vertex3> vertices() const noexcept { return vertices_; }
+  std::span<const Triangle> triangles() const noexcept { return triangles_; }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// True when edge e's ground projection has dy == 0.
+  bool is_sliver(u32 e) const {
+    const Edge& ed = edges_[e];
+    return vertices_[ed.a].y == vertices_[ed.b].y;
+  }
+
+  /// Image-plane segment (u = y, v = z). Requires !is_sliver(e).
+  Seg2 image_segment(u32 e) const {
+    const Edge& ed = edges_[e];
+    const Vertex3 &p = vertices_[ed.a], &q = vertices_[ed.b];
+    THSR_DCHECK(p.y != q.y);
+    return p.y < q.y ? Seg2{p.y, p.z, q.y, q.z} : Seg2{q.y, q.z, p.y, p.z};
+  }
+
+  /// Ground-plane segment (u = y, v = x). Requires !is_sliver(e).
+  Seg2 ground_segment(u32 e) const {
+    const Edge& ed = edges_[e];
+    const Vertex3 &p = vertices_[ed.a], &q = vertices_[ed.b];
+    THSR_DCHECK(p.y != q.y);
+    return p.y < q.y ? Seg2{p.y, p.x, q.y, q.x} : Seg2{q.y, q.x, p.y, p.x};
+  }
+
+  SliverInfo sliver(u32 e) const {
+    const Edge& ed = edges_[e];
+    const Vertex3 &p = vertices_[ed.a], &q = vertices_[ed.b];
+    THSR_DCHECK(p.y == q.y);
+    SliverInfo s;
+    s.y = p.y;
+    s.x_lo = std::min(p.x, q.x);
+    s.x_hi = std::max(p.x, q.x);
+    s.z_lo = std::min(p.z, q.z);
+    s.z_hi = std::max(p.z, q.z);
+    return s;
+  }
+
+  i64 min_y() const noexcept { return min_y_; }
+  i64 max_y() const noexcept { return max_y_; }
+  i64 max_abs_coord() const noexcept { return max_abs_; }
+
+  /// O(min(pairs, n^2)) check that ground projections of non-sliver edges do
+  /// not properly cross (test helper; terrains built by the generators hold
+  /// this by construction).
+  bool projections_planar(std::size_t pair_limit = 2'000'000) const;
+
+  /// Exact azimuth rotation: ground coordinates map through
+  /// (x, y) -> (a*x - b*y, b*x + a*y), a rotation by atan2(b, a) scaled by
+  /// sqrt(a^2+b^2) (scaling does not affect visibility). With (a, b) from a
+  /// Pythagorean triple this realizes exact rational view angles — viewing
+  /// the rotated terrain along -x equals viewing the original from that
+  /// azimuth. Throws if the scaled coordinates leave the admissible range.
+  Terrain rotate_ground(i64 a, i64 b) const;
+
+ private:
+  std::vector<Vertex3> vertices_;
+  std::vector<Triangle> triangles_;
+  std::vector<Edge> edges_;
+  i64 min_y_{0}, max_y_{0}, max_abs_{0};
+};
+
+}  // namespace thsr

@@ -1,0 +1,33 @@
+#pragma once
+/// \file triangulate.hpp
+/// Face triangulation for polygonal (non-TIN) terrain input. The paper
+/// delegates this step to Atallah–Cole–Goodrich's parallel triangulation
+/// (section 3); this repo substitutes a sequential convex-fan /
+/// y-monotone-polygon triangulator (see DESIGN.md section 1): the HSR
+/// algorithms only require that every face is a triangle so that the maximum
+/// of z over any y-cross-section of a face is attained on its edges.
+
+#include <vector>
+
+#include "terrain/terrain.hpp"
+
+namespace thsr {
+
+/// True if the ground projection of `face` (vertex indices, CCW) is convex.
+bool face_convex_ground(std::span<const u32> face, std::span<const Vertex3> verts);
+
+/// Fan triangulation of a convex face.
+std::vector<Triangle> triangulate_convex(std::span<const u32> face);
+
+/// Stack triangulation of a polygon that is monotone with respect to y in
+/// ground projection (CCW orientation). Throws std::invalid_argument if the
+/// polygon is not y-monotone.
+std::vector<Triangle> triangulate_monotone(std::span<const u32> face,
+                                           std::span<const Vertex3> verts);
+
+/// Triangulate every face (convex fan when possible, monotone otherwise) and
+/// assemble a Terrain.
+Terrain triangulate_polygonal(std::vector<Vertex3> verts,
+                              const std::vector<std::vector<u32>>& faces);
+
+}  // namespace thsr

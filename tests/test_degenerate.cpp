@@ -1,0 +1,167 @@
+/// Degeneracy suite: hand-built terrains exercising exact ties, plateaus,
+/// sliver edges, fully-hidden geometry, and minimal inputs. Every case pins
+/// the shared convention (ties -> hidden; slivers vs the non-sliver profile)
+/// by asserting all three algorithms agree and by direct expectations.
+
+#include <gtest/gtest.h>
+
+#include "core/hsr.hpp"
+#include "terrain/generators.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+void expect_all_agree(const Terrain& t) {
+  const auto ref = hidden_surface_removal(t, {.algorithm = Algorithm::Reference});
+  const auto seq = hidden_surface_removal(t, {.algorithm = Algorithm::Sequential});
+  const auto par = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
+  const auto d1 = ref.map.first_difference(seq.map);
+  ASSERT_FALSE(d1.has_value()) << "ref vs seq differ at edge " << *d1;
+  const auto d2 = ref.map.first_difference(par.map);
+  ASSERT_FALSE(d2.has_value()) << "ref vs par differ at edge " << *d2;
+}
+
+TEST(Degenerate, SingleTriangleFullyVisible) {
+  // Chosen so the back edge rises strictly above the front edges' envelope
+  // (a tilted triangle can legitimately self-occlude; this one does not).
+  std::vector<Vertex3> v{{0, 0, 5}, {4, 3, 1}, {1, 7, 9}};
+  const Terrain t = Terrain::from_triangles(v, {{0, 1, 2}});
+  expect_all_agree(t);
+  const auto r = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    ASSERT_EQ(r.map.pieces(e).size(), 1u) << "edge " << e;
+    const Seg2 s = t.image_segment(e);
+    EXPECT_EQ(r.map.pieces(e)[0].y0, QY::of(s.u0));
+    EXPECT_EQ(r.map.pieces(e)[0].y1, QY::of(s.u1));
+  }
+  EXPECT_EQ(r.stats.k_pieces, 3u);
+}
+
+TEST(Degenerate, BackTriangleFullyHiddenByFrontWall) {
+  // Front wall (large x) strictly taller than the back triangle everywhere.
+  std::vector<Vertex3> v{
+      {100, 0, 50}, {104, 10, 50}, {103, 5, 60},  // front tall triangle
+      {0, 2, 3},    {4, 8, 4},     {1, 5, 1},     // back low triangle
+  };
+  const Terrain t = Terrain::from_triangles(v, {{0, 1, 2}, {3, 4, 5}});
+  expect_all_agree(t);
+  const auto r = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
+  // Identify edges of the back triangle by vertex ids >= 3.
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    const Edge& ed = t.edges()[e];
+    if (ed.a >= 3) {
+      EXPECT_TRUE(r.map.pieces(e).empty()) << "back edge " << e << " should be hidden";
+    } else if (ed.b == 2) {
+      // The wall's apex edges face the viewer; its base edge legitimately
+      // hides behind them (self-occlusion), so only these two are asserted.
+      EXPECT_FALSE(r.map.pieces(e).empty()) << "apex edge " << e << " should be visible";
+    }
+  }
+}
+
+TEST(Degenerate, ExactTieIsHidden) {
+  // Two triangles, the back one touching the front one's silhouette from
+  // below with exactly equal heights over an interval (collinear overlap).
+  std::vector<Vertex3> v{
+      {100, 0, 10}, {104, 8, 10}, {103, 4, 20},  // front: base edge at z=10 over y in [0,8]
+      {0, 0, 10},   {4, 8, 10},   {3, 4, 0},     // back: top edge identical in image plane
+  };
+  const Terrain t = Terrain::from_triangles(v, {{0, 1, 2}, {3, 4, 5}});
+  expect_all_agree(t);
+  const auto r = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    const Edge& ed = t.edges()[e];
+    if (ed.a == 3 && ed.b == 4) {  // the tied back edge
+      EXPECT_TRUE(r.map.pieces(e).empty()) << "tied edge must lose to the front";
+    }
+  }
+}
+
+TEST(Degenerate, FlatPlateauUnsheared) {
+  GenOptions opt;
+  opt.family = Family::Skyline;
+  opt.grid = 8;
+  opt.seed = 1;
+  opt.shear = false;
+  opt.amplitude = 1;  // nearly flat: maximal tie density
+  const Terrain t = make_terrain(opt);
+  expect_all_agree(t);
+}
+
+TEST(Degenerate, SliverVisibilityAgainstProfile) {
+  // One sliver edge (dy = 0) behind a front wall that partially covers it.
+  // Back triangle has a tall x-parallel edge; front wall at z = 5.
+  std::vector<Vertex3> v{
+      {0, 0, 0},    {8, 0, 12},  {4, 6, 0},     // back triangle, edge 0-1 is a sliver
+      {100, -4, 5}, {104, 4, 5}, {102, -1, 5},  // front plateau wall at z=5 (covers y=0)
+  };
+  const Terrain t = Terrain::from_triangles(v, {{0, 1, 2}, {3, 4, 5}});
+  expect_all_agree(t);
+  const auto r = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    if (!t.is_sliver(e)) continue;
+    const auto& sv = r.map.sliver(e);
+    ASSERT_TRUE(sv.has_value());
+    // Sliver tops out at z=12 > wall z=5: visible above the wall.
+    EXPECT_TRUE(sv->visible);
+  }
+}
+
+TEST(Degenerate, SliverFullyBlocked) {
+  std::vector<Vertex3> v{
+      {0, 0, 0},    {8, 0, 4},   {4, 6, 0},      // back triangle, sliver tops at z=4
+      {100, -4, 9}, {104, 4, 9}, {102, -1, 20},  // front wall bottom edge z=9 over y in [-4,4]
+  };
+  const Terrain t = Terrain::from_triangles(v, {{0, 1, 2}, {3, 4, 5}});
+  expect_all_agree(t);
+  const auto r = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    if (!t.is_sliver(e)) continue;
+    ASSERT_TRUE(r.map.sliver(e).has_value());
+    EXPECT_FALSE(r.map.sliver(e)->visible);
+  }
+}
+
+TEST(Degenerate, TinyGrids) {
+  for (const u32 g : {2u, 3u, 4u}) {
+    for (const bool shear : {true, false}) {
+      GenOptions opt;
+      opt.family = Family::Fbm;
+      opt.grid = g;
+      opt.shear = shear;
+      expect_all_agree(make_terrain(opt));
+    }
+  }
+}
+
+TEST(Degenerate, SharedVertexFanOrdering) {
+  // Many triangles fanning around one vertex: dense shared endpoints in both
+  // sweeps (depth order + envelopes).
+  std::vector<Vertex3> v{{50, 0, 30}};
+  std::vector<Triangle> tris;
+  const int spokes = 8;
+  for (int i = 0; i <= spokes; ++i) {
+    v.push_back({i * 10, 20 + i, (i * 7) % 23});
+  }
+  for (int i = 1; i < spokes; ++i) {
+    tris.push_back({0, static_cast<u32>(i), static_cast<u32>(i + 1)});
+  }
+  const Terrain t = Terrain::from_triangles(v, tris);
+  ASSERT_TRUE(t.projections_planar());
+  expect_all_agree(t);
+}
+
+TEST(Degenerate, SkylinePlateausAllGrids) {
+  for (const u64 seed : {1ull, 2ull, 3ull}) {
+    GenOptions opt;
+    opt.family = Family::Skyline;
+    opt.grid = 10;
+    opt.seed = seed;
+    opt.shear = (seed % 2) == 0;
+    expect_all_agree(make_terrain(opt));
+  }
+}
+
+}  // namespace
+}  // namespace thsr

@@ -1,0 +1,63 @@
+/// Determinism: the parallel algorithm's output and persistent-structure
+/// shape must be independent of the worker count and of scheduling (content
+/// -hashed treap priorities + immutable versions guarantee it).
+
+#include <gtest/gtest.h>
+
+#include "core/hsr.hpp"
+#include "parallel/backend.hpp"
+#include "terrain/generators.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+class DeterminismP : public ::testing::TestWithParam<Family> {};
+
+TEST_P(DeterminismP, MapIndependentOfThreadCount) {
+  GenOptions opt;
+  opt.family = GetParam();
+  opt.grid = 18;
+  opt.seed = 9;
+  const Terrain t = make_terrain(opt);
+
+  const auto p1 = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel, .threads = 1});
+  const auto p2 = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel, .threads = 2});
+  const auto p4 = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel, .threads = 4});
+
+  EXPECT_FALSE(p1.map.first_difference(p2.map).has_value());
+  EXPECT_FALSE(p1.map.first_difference(p4.map).has_value());
+  EXPECT_EQ(p1.stats.k_pieces, p2.stats.k_pieces);
+  EXPECT_EQ(p1.stats.k_crossings, p4.stats.k_crossings);
+  // Structure size is also schedule-independent (content-hashed shapes).
+  EXPECT_EQ(p1.stats.treap_nodes, p2.stats.treap_nodes);
+  EXPECT_EQ(p1.stats.phase1_pieces, p2.stats.phase1_pieces);
+}
+
+TEST_P(DeterminismP, RepeatedRunsBitEqual) {
+  GenOptions opt;
+  opt.family = GetParam();
+  opt.grid = 14;
+  opt.seed = 5;
+  const Terrain t = make_terrain(opt);
+  const auto a = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel, .threads = 2});
+  const auto b = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel, .threads = 2});
+  EXPECT_FALSE(a.map.first_difference(b.map).has_value());
+  EXPECT_EQ(a.stats.treap_nodes, b.stats.treap_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, DeterminismP,
+                         ::testing::Values(Family::Fbm, Family::Spikes, Family::Skyline),
+                         [](const auto& info) { return family_name(info.param); });
+
+TEST(Determinism, SequentialUnaffectedByThreadSetting) {
+  GenOptions opt;
+  opt.grid = 12;
+  const Terrain t = make_terrain(opt);
+  const auto a = hidden_surface_removal(t, {.algorithm = Algorithm::Sequential, .threads = 1});
+  const auto b = hidden_surface_removal(t, {.algorithm = Algorithm::Sequential, .threads = 4});
+  EXPECT_FALSE(a.map.first_difference(b.map).has_value());
+}
+
+}  // namespace
+}  // namespace thsr

@@ -1,0 +1,92 @@
+/// Unit tests for the exact rational abscissa type QY.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/exactq.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+TEST(ExactQ, IntegerBasics) {
+  EXPECT_EQ(cmp(QY::of(3), QY::of(3)), 0);
+  EXPECT_LT(cmp(QY::of(2), QY::of(3)), 0);
+  EXPECT_GT(cmp(QY::of(4), QY::of(3)), 0);
+  EXPECT_EQ(cmp(QY::of(-5), i64{-5}), 0);
+  EXPECT_TRUE(QY::of(7).is_integer());
+  EXPECT_DOUBLE_EQ(QY::of(7).approx(), 7.0);
+}
+
+TEST(ExactQ, SignNormalization) {
+  const QY a(1, 2), b(-1, -2);
+  EXPECT_EQ(cmp(a, b), 0);
+  EXPECT_GT(b.q, 0);
+  const QY c(-1, 2), d(1, -2);
+  EXPECT_EQ(cmp(c, d), 0);
+  EXPECT_LT(c, a);
+}
+
+TEST(ExactQ, UnreducedEquality) {
+  EXPECT_EQ(QY(2, 4), QY(1, 2));
+  EXPECT_EQ(QY(6, 4), QY(3, 2));
+  EXPECT_NE(QY(6, 4), QY(3, 4));
+  EXPECT_FALSE(QY(1, 2).is_integer());
+  EXPECT_TRUE(QY(4, 2).is_integer());
+}
+
+TEST(ExactQ, OrderingMatchesRational) {
+  auto g = test::rng(42);
+  std::uniform_int_distribution<i64> num(-1'000'000, 1'000'000);
+  std::uniform_int_distribution<i64> den(1, 1'000'000);
+  for (int i = 0; i < 10'000; ++i) {
+    const i64 p1 = num(g), q1 = den(g), p2 = num(g), q2 = den(g);
+    const QY a(p1, q1), b(p2, q2);
+    const long double va = static_cast<long double>(p1) / q1;
+    const long double vb = static_cast<long double>(p2) / q2;
+    // long double has 64-bit mantissa: exact discrimination may fail only on
+    // ties, which cross-multiplication decides exactly.
+    if (va != vb) {
+      EXPECT_EQ(cmp(a, b), va < vb ? -1 : 1) << p1 << "/" << q1 << " vs " << p2 << "/" << q2;
+    } else {
+      EXPECT_EQ(cmp(a, b), (p1 * q2 > p2 * q1) - (p1 * q2 < p2 * q1));
+    }
+  }
+}
+
+TEST(ExactQ, MinMax) {
+  const QY a(1, 3), b(1, 2);
+  EXPECT_EQ(qmin(a, b), a);
+  EXPECT_EQ(qmax(a, b), b);
+  EXPECT_EQ(qmin(b, a), a);
+}
+
+TEST(ExactQ, LargeMagnitudeComparisons) {
+  // Near the documented bounds: |p| ~ 2^67, q ~ 2^45.
+  const i128 big_p = (i128{1} << 67) - 3;
+  const i128 big_q = (i128{1} << 45) - 1;
+  const QY a(big_p, big_q), b(big_p - 1, big_q);
+  EXPECT_GT(a, b);
+  EXPECT_EQ(cmp(a, a), 0);
+  const QY c(-big_p, big_q);
+  EXPECT_LT(c, b);
+}
+
+TEST(ExactQ, ToString) {
+  EXPECT_EQ(to_string(QY::of(42)), "42");
+  EXPECT_EQ(to_string(QY::of(-7)), "-7");
+  EXPECT_EQ(to_string(QY(1, 3)), "1/3");
+  EXPECT_EQ(to_string(QY(-1, 3)), "-1/3");
+  EXPECT_EQ(to_string(QY(4, 2)), "2");
+}
+
+TEST(ExactQ, ApproxAccuracy) {
+  const QY v(1, 3);
+  EXPECT_NEAR(v.approx(), 1.0 / 3.0, 1e-15);
+  const QY w(-10, 4);
+  EXPECT_DOUBLE_EQ(w.approx(), -2.5);
+}
+
+}  // namespace
+}  // namespace thsr

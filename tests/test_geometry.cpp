@@ -1,0 +1,128 @@
+/// Exact predicate tests: cmp_value_at / cmp_value_near / crossings against
+/// long-double brute force on random integer segments, plus hand-picked
+/// degenerate configurations.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/predicates.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+long double value_at(const Seg2& s, long double u) {
+  return static_cast<long double>(s.v0) +
+         (u - static_cast<long double>(s.u0)) * static_cast<long double>(s.A()) /
+             static_cast<long double>(s.B());
+}
+
+TEST(Predicates, ValueCompareMatchesBruteForce) {
+  auto segs = test::random_segments(7, 200, 500);
+  auto g = test::rng(8);
+  std::uniform_int_distribution<std::size_t> pick(0, segs.size() - 1);
+  std::uniform_int_distribution<i64> ys(-500, 500);
+  int checked = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const Seg2 &a = segs[pick(g)], &b = segs[pick(g)];
+    const i64 y = ys(g);
+    const QY yq = QY::of(y);
+    const long double va = value_at(a, y), vb = value_at(b, y);
+    if (va == vb) continue;  // ties handled by exact tests below
+    ++checked;
+    EXPECT_EQ(cmp_value_at(a, b, yq), va < vb ? -1 : 1);
+  }
+  EXPECT_GT(checked, 10'000);
+}
+
+TEST(Predicates, CrossingMatchesBruteForce) {
+  auto segs = test::random_segments(9, 120, 300);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    for (std::size_t j = i + 1; j < segs.size(); ++j) {
+      const auto y = line_crossing(segs[i], segs[j]);
+      const long double denom = static_cast<long double>(segs[i].A()) * segs[j].B() -
+                                static_cast<long double>(segs[j].A()) * segs[i].B();
+      if (denom == 0) {
+        EXPECT_FALSE(y.has_value());
+        continue;
+      }
+      ASSERT_TRUE(y.has_value());
+      // The crossing ordinate satisfies both line equations exactly.
+      EXPECT_EQ(cmp_value_at(segs[i], segs[j], *y), 0);
+    }
+  }
+}
+
+TEST(Predicates, CrossingInRespectsOpenInterval) {
+  const Seg2 a{0, 0, 10, 10};   // z = y
+  const Seg2 b{0, 10, 10, 0};   // z = 10 - y, crossing at y = 5
+  EXPECT_TRUE(crossing_in(a, b, QY::of(0), QY::of(10)).has_value());
+  EXPECT_EQ(cmp(*crossing_in(a, b, QY::of(0), QY::of(10)), QY(5, 1)), 0);
+  EXPECT_FALSE(crossing_in(a, b, QY::of(5), QY::of(10)).has_value());  // open at lo
+  EXPECT_FALSE(crossing_in(a, b, QY::of(0), QY::of(5)).has_value());   // open at hi
+  EXPECT_FALSE(crossing_in(a, b, QY::of(6), QY::of(10)).has_value());
+}
+
+TEST(Predicates, NearSideBreaksTiesBySlope) {
+  const Seg2 a{0, 0, 10, 10};  // slope 1
+  const Seg2 b{0, 0, 10, 20};  // slope 2, same value at y=0
+  const QY y0 = QY::of(0);
+  EXPECT_EQ(cmp_value_at(a, b, y0), 0);
+  EXPECT_LT(cmp_value_near(a, b, y0, Side::After), 0);   // b above just after
+  EXPECT_GT(cmp_value_near(a, b, y0, Side::Before), 0);  // a above just before
+}
+
+TEST(Predicates, CollinearSegmentsCompareEqual) {
+  const Seg2 a{0, 5, 10, 15};
+  const Seg2 b{2, 7, 8, 13};  // same supporting line
+  EXPECT_TRUE(same_line(a, b));
+  EXPECT_EQ(cmp_value_near(a, b, QY::of(4), Side::After), 0);
+  EXPECT_FALSE(line_crossing(a, b).has_value());
+}
+
+TEST(Predicates, ParallelDistinctNeverCross) {
+  const Seg2 a{0, 0, 10, 10};
+  const Seg2 b{0, 3, 10, 13};
+  EXPECT_FALSE(same_line(a, b));
+  EXPECT_FALSE(line_crossing(a, b).has_value());
+  EXPECT_LT(cmp_value_at(a, b, QY::of(5)), 0);
+}
+
+TEST(Predicates, ValueVsIntAtRationalAbscissa) {
+  const Seg2 a{0, 0, 3, 9};  // z = 3y
+  const QY y(1, 3);          // z = 1 exactly
+  EXPECT_EQ(cmp_value_vs_int(a, y, 1), 0);
+  EXPECT_GT(cmp_value_vs_int(a, y, 0), 0);
+  EXPECT_LT(cmp_value_vs_int(a, y, 2), 0);
+}
+
+TEST(Predicates, CompareAtCrossingOfOtherPair) {
+  // Regression shape for the "degree never grows" contract: compare two
+  // segments at the crossing of two *other* segments.
+  auto segs = test::random_segments(11, 60, kMaxCoord / 4);
+  int compared = 0;
+  for (std::size_t i = 0; i + 3 < segs.size(); i += 4) {
+    const auto y = line_crossing(segs[i], segs[i + 1]);
+    if (!y) continue;
+    const int c = cmp_value_at(segs[i + 2], segs[i + 3], *y);
+    const long double va = value_at(segs[i + 2], static_cast<long double>(y->approx()));
+    const long double vb = value_at(segs[i + 3], static_cast<long double>(y->approx()));
+    if (std::abs(static_cast<double>(va - vb)) > 1e-3) {
+      EXPECT_EQ(c, va < vb ? -1 : 1);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 5);
+}
+
+TEST(Seg2, LineCoefficients) {
+  const Seg2 s{2, 3, 6, 11};  // slope 2: z = 2y - 1 => 2y - 1z = 1... A=8,B=4,C=A*u0-B*v0=4
+  EXPECT_EQ(s.A(), 8);
+  EXPECT_EQ(s.B(), 4);
+  EXPECT_EQ(s.C(), i128{8} * 2 - i128{4} * 3);
+  EXPECT_DOUBLE_EQ(s.approx_at(4.0), 7.0);
+}
+
+}  // namespace
+}  // namespace thsr

@@ -1,0 +1,78 @@
+/// IO smoke tests: SVG rendering and the bench table builder.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/hsr.hpp"
+#include "envelope/build.hpp"
+#include "io/csv.hpp"
+#include "io/svg.hpp"
+#include "terrain/generators.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(Svg, VisibilityRenderContainsVisiblePieces) {
+  GenOptions opt;
+  opt.grid = 10;
+  const Terrain t = make_terrain(opt);
+  const auto r = hidden_surface_removal(t);
+  const std::string path = ::testing::TempDir() + "/thsr_vis.svg";
+  render_visibility_svg(t, r.map, path);
+  const std::string svg = slurp(path);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("#0b6623"), std::string::npos);  // visible strokes present
+  std::remove(path.c_str());
+}
+
+TEST(Svg, EnvelopeRender) {
+  GenOptions opt;
+  opt.grid = 8;
+  const Terrain t = make_terrain(opt);
+  std::vector<u32> ids;
+  std::vector<Seg2> segs(t.edge_count(), Seg2{0, 0, 1, 0});
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    if (!t.is_sliver(e)) {
+      segs[e] = t.image_segment(e);
+      ids.push_back(e);
+    }
+  }
+  const Envelope env = envelope_of(ids, segs);
+  const std::string path = ::testing::TempDir() + "/thsr_env.svg";
+  render_envelope_svg(t, env, segs, path);
+  EXPECT_NE(slurp(path).find("#c1121f"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Table, MarkdownFormatting) {
+  Table t({"n", "time_ms", "note"});
+  t.row({"10", Table::num(1.5), "a"});
+  t.row({"2000", Table::num(12.25), "bb"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| n    | time_ms | note |"), std::string::npos);
+  EXPECT_NE(s.find("| 2000 | 12.250  | bb   |"), std::string::npos);
+  EXPECT_NE(s.find("|------|"), std::string::npos);
+}
+
+TEST(Table, NumHelpers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<long long>(-42)), "-42");
+  EXPECT_EQ(Table::num(static_cast<unsigned long long>(7)), "7");
+}
+
+}  // namespace
+}  // namespace thsr

@@ -1,0 +1,119 @@
+/// Depth-order tests: the sweep + toposort front-to-back order must be a
+/// linear extension of the occlusion partial order (validated exhaustively
+/// against the O(n^2) pairwise checker) on every family, sheared and not.
+
+#include <gtest/gtest.h>
+
+#include "separator/depth_order.hpp"
+#include "separator/separator_tree.hpp"
+#include "terrain/generators.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+struct OrderCase {
+  Family family;
+  bool shear;
+  u64 seed;
+};
+
+class OrderP : public ::testing::TestWithParam<OrderCase> {};
+
+TEST_P(OrderP, IsValidLinearExtension) {
+  GenOptions opt;
+  opt.family = GetParam().family;
+  opt.grid = 10;
+  opt.seed = GetParam().seed;
+  opt.shear = GetParam().shear;
+  const Terrain t = make_terrain(opt);
+  const DepthOrder d = compute_depth_order(t);
+  ASSERT_EQ(d.order.size(), t.edge_count());
+  // Permutation check.
+  std::vector<bool> seen(t.edge_count(), false);
+  for (u32 e : d.order) {
+    ASSERT_LT(e, t.edge_count());
+    ASSERT_FALSE(seen[e]);
+    seen[e] = true;
+  }
+  // rank is the inverse permutation.
+  for (u32 r = 0; r < d.order.size(); ++r) EXPECT_EQ(d.rank[d.order[r]], r);
+  EXPECT_TRUE(validate_depth_order(t, d.order));
+  EXPECT_GT(d.constraints, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, OrderP,
+    ::testing::Values(OrderCase{Family::Fbm, true, 1}, OrderCase{Family::Fbm, false, 1},
+                      OrderCase{Family::RidgeFront, true, 2},
+                      OrderCase{Family::RidgeFront, false, 2},
+                      OrderCase{Family::TerraceBack, true, 3},
+                      OrderCase{Family::Spikes, true, 4}, OrderCase{Family::Spikes, false, 4},
+                      OrderCase{Family::Valley, true, 5}, OrderCase{Family::Skyline, true, 6},
+                      OrderCase{Family::Skyline, false, 6}),
+    [](const auto& info) {
+      return std::string(family_name(info.param.family)) +
+             (info.param.shear ? "_shear" : "_grid") + "_s" + std::to_string(info.param.seed);
+    });
+
+TEST(Order, DeterministicAcrossRuns) {
+  GenOptions opt;
+  opt.family = Family::Fbm;
+  opt.grid = 14;
+  const Terrain t = make_terrain(opt);
+  const DepthOrder a = compute_depth_order(t), b = compute_depth_order(t);
+  EXPECT_EQ(a.order, b.order);
+}
+
+TEST(Order, FrontRowComesEarly) {
+  // In terrace_back the front (large-x) rows strictly dominate those behind;
+  // the front boundary column edges must all precede the back boundary ones.
+  GenOptions opt;
+  opt.family = Family::TerraceBack;
+  opt.grid = 8;
+  const Terrain t = make_terrain(opt);
+  const DepthOrder d = compute_depth_order(t);
+  u64 front_sum = 0, front_n = 0, back_sum = 0, back_n = 0;
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    const Edge& ed = t.edges()[e];
+    const i64 x1 = t.vertex(ed.a).x, x2 = t.vertex(ed.b).x;
+    if (std::min(x1, x2) >= 8 * 6) {
+      front_sum += d.rank[e];
+      ++front_n;
+    } else if (std::max(x1, x2) <= 8) {
+      back_sum += d.rank[e];
+      ++back_n;
+    }
+  }
+  ASSERT_GT(front_n, 0u);
+  ASSERT_GT(back_n, 0u);
+  EXPECT_LT(front_sum / front_n, back_sum / back_n);
+}
+
+TEST(SeparatorTree, StructureInvariants) {
+  for (const u32 n : {1u, 2u, 3u, 7u, 8u, 100u, 1023u}) {
+    const SeparatorTree t(n);
+    EXPECT_EQ(t.node(t.root()).lo, 0u);
+    EXPECT_EQ(t.node(t.root()).hi, n);
+    // Every layer partitions a prefix of the ranges; leaves cover [0, n).
+    u64 leaves = 0;
+    for (u32 v = 0; v < t.size(); ++v) {
+      const PctNode& nd = t.node(v);
+      if (nd.leaf()) {
+        ++leaves;
+        EXPECT_EQ(nd.hi - nd.lo, 1u);
+      } else {
+        const PctNode &l = t.node(nd.left), &r = t.node(nd.right);
+        EXPECT_EQ(l.lo, nd.lo);
+        EXPECT_EQ(l.hi, r.lo);
+        EXPECT_EQ(r.hi, nd.hi);
+      }
+    }
+    EXPECT_EQ(leaves, n);
+    EXPECT_EQ(t.size(), 2 * n - 1);
+    EXPECT_LE(t.levels(), 2 + static_cast<u32>(std::ceil(std::log2(std::max(2u, n)))));
+  }
+}
+
+}  // namespace
+}  // namespace thsr

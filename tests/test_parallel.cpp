@@ -1,0 +1,141 @@
+/// Parallel primitive tests: scan / merge / sort vs serial references across
+/// thread counts, work counters, and the task allocator.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "parallel/backend.hpp"
+#include "parallel/merge_sort.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/task_allocator.hpp"
+#include "parallel/work_depth.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+class ParallelP : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    prev_ = par::max_threads();
+    par::set_threads(GetParam());
+  }
+  void TearDown() override { par::set_threads(prev_); }
+  int prev_{1};
+};
+
+TEST_P(ParallelP, ParallelForCoversAllIndices) {
+  const i64 n = 100'000;
+  std::vector<std::atomic<int>> hits(n);
+  par::parallel_for(n, [&](i64 i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (i64 i = 0; i < n; ++i) ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST_P(ParallelP, ExclusiveScanMatchesSerial) {
+  auto g = test::rng(5);
+  std::uniform_int_distribution<u64> d(0, 1000);
+  for (const std::size_t n : {0ul, 1ul, 7ul, 4096ul, 100'001ul}) {
+    std::vector<u64> xs(n);
+    for (auto& x : xs) x = d(g);
+    const auto scan = par::exclusive_scan(xs);
+    ASSERT_EQ(scan.size(), n + 1);
+    u64 acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scan[i], acc);
+      acc += xs[i];
+    }
+    EXPECT_EQ(scan[n], acc);
+  }
+}
+
+TEST_P(ParallelP, InclusiveScanGenericOp) {
+  std::vector<u64> xs(50'000, 1);
+  const auto inc =
+      par::inclusive_scan<u64>(xs, u64{0}, [](u64 a, u64 b) { return a + b; });
+  for (std::size_t i = 0; i < xs.size(); ++i) ASSERT_EQ(inc[i], i + 1);
+}
+
+TEST_P(ParallelP, MergeMatchesStdMerge) {
+  auto g = test::rng(17);
+  std::uniform_int_distribution<int> d(-1'000'000, 1'000'000);
+  for (const std::size_t na : {0ul, 5ul, 1000ul, 30'000ul}) {
+    for (const std::size_t nb : {0ul, 17ul, 20'000ul}) {
+      std::vector<int> a(na), b(nb);
+      for (auto& x : a) x = d(g);
+      for (auto& x : b) x = d(g);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      std::vector<int> expect(na + nb), got(na + nb);
+      std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+      par::parallel_merge<int>(a, b, got, std::less<int>{}, /*grain=*/64);
+      EXPECT_EQ(got, expect);
+    }
+  }
+}
+
+TEST_P(ParallelP, SortMatchesStdSort) {
+  auto g = test::rng(23);
+  std::uniform_int_distribution<long> d(-1'000'000'000L, 1'000'000'000L);
+  for (const std::size_t n : {0ul, 1ul, 2ul, 999ul, 65'536ul, 200'000ul}) {
+    std::vector<long> xs(n);
+    for (auto& x : xs) x = d(g);
+    auto expect = xs;
+    std::sort(expect.begin(), expect.end());
+    par::parallel_sort<long>(xs, std::less<long>{}, /*grain=*/256);
+    EXPECT_EQ(xs, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelP, ::testing::Values(1, 2, 4),
+                         [](const auto& info) { return "p" + std::to_string(info.param); });
+
+TEST(WorkDepth, CountersAccumulateAcrossThreads) {
+  work::reset();
+  par::parallel_for(10'000, [&](i64) { work::count(Op::ExactCmp); }, 16);
+  const Counters c = work::snapshot();
+  EXPECT_EQ(c[Op::ExactCmp], 10'000u);
+  work::reset();
+  EXPECT_EQ(work::snapshot()[Op::ExactCmp], 0u);
+}
+
+TEST(WorkDepth, ScopeDeltas) {
+  work::reset();
+  work::count(Op::Crossing, 5);
+  const work::Scope scope;
+  work::count(Op::Crossing, 7);
+  EXPECT_EQ(scope.delta()[Op::Crossing], 7u);
+}
+
+TEST(TaskAllocator, RunsAllSchedulesAndReportsSaneNumbers) {
+  std::vector<u32> costs(500, 2000);
+  for (std::size_t i = 0; i < costs.size(); i += 7) costs[i] = 20'000;  // skew
+  for (const auto sched : {par::Schedule::StaticBlock, par::Schedule::Dynamic,
+                           par::Schedule::Guided, par::Schedule::StaticCyclic}) {
+    const auto rep = par::run_synthetic_tasks(costs, 2, sched);
+    EXPECT_EQ(rep.tasks, costs.size());
+    EXPECT_GT(rep.serial_s, 0.0);
+    EXPECT_GT(rep.wall_s, 0.0);
+    EXPECT_LE(rep.wall_s, rep.serial_s * 1.5 + 0.05) << par::schedule_name(sched);
+  }
+}
+
+TEST(Backend, ForkJoinRunsBothBranches) {
+  int a = 0, b = 0;
+  par::run_root_task([&] {
+    par::fork_join([&] { a = 1; }, [&] { b = 2; });
+  });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Backend, ThreadControl) {
+  const int prev = par::max_threads();
+  par::set_threads(3);
+  EXPECT_EQ(par::max_threads(), 3);
+  par::set_threads(prev);
+}
+
+}  // namespace
+}  // namespace thsr

@@ -1,0 +1,85 @@
+/// Face triangulation tests: convex fans, monotone polygons, polygonal
+/// terrain assembly.
+
+#include <gtest/gtest.h>
+
+#include "terrain/triangulate.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+// Ground-plane orientation area*2 of a triangle (in (y,x)).
+i128 tri_area2(const Vertex3& a, const Vertex3& b, const Vertex3& c) {
+  return i128{b.y - a.y} * (c.x - a.x) - i128{b.x - a.x} * (c.y - a.y);
+}
+
+i128 polygon_area2(std::span<const u32> face, std::span<const Vertex3> verts) {
+  i128 area = 0;
+  for (std::size_t i = 1; i + 1 < face.size(); ++i) {
+    area += tri_area2(verts[face[0]], verts[face[i]], verts[face[i + 1]]);
+  }
+  return area;
+}
+
+void expect_covers(std::span<const Triangle> tris, std::span<const u32> face,
+                   std::span<const Vertex3> verts) {
+  ASSERT_EQ(tris.size(), face.size() - 2);
+  i128 total = 0;
+  for (const Triangle& t : tris) {
+    const i128 a = tri_area2(verts[t.a], verts[t.b], verts[t.c]);
+    EXPECT_NE(a, 0) << "degenerate triangle emitted";
+    total += a;
+  }
+  EXPECT_EQ(total, polygon_area2(face, verts));
+}
+
+TEST(Triangulate, ConvexFan) {
+  std::vector<Vertex3> v{{0, 0, 0}, {4, 0, 0}, {6, 4, 0}, {4, 8, 0}, {0, 8, 0}, {-2, 4, 0}};
+  std::vector<u32> face{0, 1, 2, 3, 4, 5};
+  // Orient CCW in ground plane (y,x): check and flip if needed.
+  if (polygon_area2(face, v) < 0) std::reverse(face.begin(), face.end());
+  EXPECT_TRUE(face_convex_ground(face, v));
+  const auto tris = triangulate_convex(face);
+  expect_covers(tris, face, v);
+}
+
+TEST(Triangulate, MonotoneNonConvex) {
+  // y-monotone polygon with a reflex vertex (in ground plane y,x).
+  std::vector<Vertex3> v{{0, 0, 0}, {6, 2, 0}, {1, 4, 0}, {5, 7, 0}, {-3, 5, 0}, {-4, 2, 0}};
+  std::vector<u32> face{0, 1, 2, 3, 4, 5};
+  if (polygon_area2(face, v) < 0) std::reverse(face.begin(), face.end());
+  EXPECT_FALSE(face_convex_ground(face, v));
+  const auto tris = triangulate_monotone(face, v);
+  expect_covers(tris, face, v);
+}
+
+TEST(Triangulate, MonotoneTriangleIsIdentity) {
+  std::vector<Vertex3> v{{0, 0, 0}, {4, 1, 0}, {1, 4, 0}};
+  std::vector<u32> face{0, 1, 2};
+  const auto tris = triangulate_monotone(face, v);
+  ASSERT_EQ(tris.size(), 1u);
+}
+
+TEST(Triangulate, RejectsNonMonotone) {
+  // A zig-zag polygon that is not y-monotone.
+  std::vector<Vertex3> v{{0, 0, 0}, {8, 2, 0}, {2, 1, 0}, {7, 6, 0}, {-2, 4, 0}};
+  std::vector<u32> face{0, 1, 2, 3, 4};
+  if (polygon_area2(face, v) < 0) std::reverse(face.begin(), face.end());
+  EXPECT_THROW(triangulate_monotone(face, v), std::invalid_argument);
+}
+
+TEST(Triangulate, PolygonalTerrainAssembly) {
+  // A 2x1 strip of convex quad faces with heights.
+  std::vector<Vertex3> v{{0, 0, 1}, {4, 0, 2}, {8, 1, 3}, {0, 4, 4}, {4, 5, 5}, {8, 4, 6}};
+  std::vector<std::vector<u32>> faces{{0, 1, 4, 3}, {1, 2, 5, 4}};
+  for (auto& f : faces) {
+    if (polygon_area2(f, v) < 0) std::reverse(f.begin(), f.end());
+  }
+  const Terrain t = triangulate_polygonal(v, faces);
+  EXPECT_EQ(t.triangle_count(), 4u);
+  EXPECT_TRUE(t.projections_planar());
+}
+
+}  // namespace
+}  // namespace thsr

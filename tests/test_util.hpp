@@ -1,0 +1,99 @@
+#pragma once
+/// Shared helpers for the thsr test suite: deterministic RNG, random segment
+/// soups, brute-force reference computations.
+
+#include <random>
+#include <vector>
+
+#include "envelope/envelope.hpp"
+#include "geometry/predicates.hpp"
+
+namespace thsr::test {
+
+/// Deterministic RNG (never std::random_device in tests).
+inline std::mt19937_64 rng(u64 seed) { return std::mt19937_64{seed}; }
+
+/// Random non-vertical segments with integer coordinates in [-range, range].
+inline std::vector<Seg2> random_segments(u64 seed, std::size_t n, i64 range = 1000) {
+  auto g = rng(seed);
+  std::uniform_int_distribution<i64> coord(-range, range);
+  std::vector<Seg2> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const i64 u0 = coord(g), u1 = coord(g);
+    if (u0 == u1) continue;
+    const i64 v0 = coord(g), v1 = coord(g);
+    out.push_back(u0 < u1 ? Seg2{u0, v0, u1, v1} : Seg2{u1, v1, u0, v0});
+  }
+  return out;
+}
+
+inline std::vector<u32> iota_ids(std::size_t n) {
+  std::vector<u32> ids(n);
+  for (u32 i = 0; i < n; ++i) ids[i] = i;
+  return ids;
+}
+
+/// Brute-force winner at (y, side): the live segment with maximal value,
+/// earlier id winning ties (the front-wins convention, ids = depth order).
+inline std::optional<u32> brute_top(std::span<const Seg2> segs, std::span<const u32> ids,
+                                    const QY& y, Side side) {
+  std::optional<u32> best;
+  for (const u32 id : ids) {
+    const Seg2& s = segs[id];
+    const bool live = side == Side::After ? (cmp(y, s.u0) >= 0 && cmp(y, s.u1) < 0)
+                                          : (cmp(y, s.u0) > 0 && cmp(y, s.u1) <= 0);
+    if (!live) continue;
+    if (!best) {
+      best = id;
+      continue;
+    }
+    const int c = cmp_value_near(s, segs[*best], y, side);
+    if (c > 0) best = id;  // ties keep the earlier id: ids scanned in order
+  }
+  return best;
+}
+
+/// Check env == pointwise max of segs[ids] at all breakpoints (both sides)
+/// and at every integer abscissa in [lo, hi].
+inline void expect_envelope_exact(const Envelope& env, std::span<const Seg2> segs,
+                                  std::span<const u32> ids, i64 lo, i64 hi);
+
+}  // namespace thsr::test
+
+// gtest-dependent part.
+#include <gtest/gtest.h>
+
+namespace thsr::test {
+
+inline void expect_envelope_exact(const Envelope& env, std::span<const Seg2> segs,
+                                  std::span<const u32> ids, i64 lo, i64 hi) {
+  env.validate(segs);
+  const auto check_at = [&](const QY& y, Side side) {
+    const auto expect = brute_top(segs, ids, y, side);
+    const auto got = env.edge_at(y, side);
+    if (expect.has_value() != got.has_value()) {
+      FAIL() << "envelope coverage mismatch at y=" << to_string(y)
+             << " side=" << (side == Side::After ? "after" : "before");
+    }
+    if (expect && got && *expect != *got) {
+      // Distinct edges are fine iff values AND slopes tie exactly never —
+      // the brute picks the earliest id; envelopes must match that winner
+      // unless the two segments are collinear over the interval.
+      EXPECT_TRUE(same_line(segs[*expect], segs[*got]))
+          << "winner mismatch at y=" << to_string(y) << ": expect edge " << *expect << " got "
+          << *got;
+      EXPECT_EQ(cmp_value_near(segs[*expect], segs[*got], y, side), 0);
+    }
+  };
+  for (const EnvPiece& p : env.pieces()) {
+    check_at(p.y0, Side::After);
+    check_at(p.y1, Side::Before);
+  }
+  for (i64 y = lo; y <= hi; ++y) {
+    check_at(QY::of(y), Side::After);
+    check_at(QY::of(y), Side::Before);
+  }
+}
+
+}  // namespace thsr::test

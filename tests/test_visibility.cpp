@@ -1,0 +1,123 @@
+/// VisibilityMap unit tests and output-structure properties, including the
+/// occlusion-monotonicity property (raising a front wall can only shrink
+/// the visible set behind it).
+
+#include <gtest/gtest.h>
+
+#include "core/hsr.hpp"
+#include "terrain/generators.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+TEST(VisibilityMap, CountersAndLength) {
+  VisibilityMap m(3);
+  m.add_piece(0, {QY::of(0), QY::of(4), EndpointKind::SegmentEnd, EndpointKind::Crossing,
+                  kNoEdge, 7});
+  m.add_piece(0, {QY::of(6), QY::of(9), EndpointKind::Crossing, EndpointKind::SegmentEnd, 7,
+                  kNoEdge});
+  m.add_piece(2, {QY::of(1), QY::of(2), EndpointKind::Break, EndpointKind::Break, 1, 1});
+  m.set_sliver(1, {true, kNoEdge, kNoEdge});
+  EXPECT_EQ(m.k_pieces(), 4u);
+  EXPECT_EQ(m.k_crossings(), 2u);
+  EXPECT_DOUBLE_EQ(m.visible_length(), 4 + 3 + 1);
+}
+
+TEST(VisibilityMap, FirstDifferenceDetectsMismatch) {
+  VisibilityMap a(2), b(2);
+  a.add_piece(1, {QY::of(0), QY::of(4), {}, {}, kNoEdge, kNoEdge});
+  b.add_piece(1, {QY::of(0), QY::of(5), {}, {}, kNoEdge, kNoEdge});
+  EXPECT_EQ(a.first_difference(b), std::optional<u32>(1));
+  VisibilityMap c(2);
+  c.add_piece(1, {QY::of(0), QY::of(4), {}, {}, kNoEdge, kNoEdge});
+  EXPECT_EQ(a.first_difference(c), std::nullopt);
+  // Sliver mismatch.
+  VisibilityMap d(2), e(2);
+  d.add_piece(1, {QY::of(0), QY::of(4), {}, {}, kNoEdge, kNoEdge});
+  e.add_piece(1, {QY::of(0), QY::of(4), {}, {}, kNoEdge, kNoEdge});
+  d.set_sliver(0, {true, kNoEdge, kNoEdge});
+  e.set_sliver(0, {false, kNoEdge, kNoEdge});
+  EXPECT_EQ(d.first_difference(e), std::optional<u32>(0));
+}
+
+// Occlusion monotonicity: make the front ridge taller; back edges can only
+// lose visibility (compare per-edge total visible length).
+TEST(Visibility, FrontWallMonotonicity) {
+  GenOptions low, high;
+  low.family = high.family = Family::RidgeFront;
+  low.grid = high.grid = 14;
+  low.seed = high.seed = 4;
+  low.amplitude = 40;
+  high.amplitude = 160;  // same interior noise scale shape, taller wall
+  // The interiors differ in noise amplitude too, so build the comparison
+  // terrain manually: take `low` and raise only the front two rows.
+  const Terrain tl = make_terrain(low);
+  std::vector<Vertex3> raised(tl.vertices().begin(), tl.vertices().end());
+  i64 max_x = 0;
+  for (const auto& v : raised) max_x = std::max(max_x, v.x);
+  for (auto& v : raised) {
+    if (v.x >= max_x - 4) v.z += 300;
+  }
+  const Terrain th = Terrain::from_triangles(
+      std::move(raised), {tl.triangles().begin(), tl.triangles().end()});
+
+  const auto rl = hidden_surface_removal(tl, {.algorithm = Algorithm::Parallel});
+  const auto rh = hidden_surface_removal(th, {.algorithm = Algorithm::Parallel});
+
+  // Per-edge visible length for edges untouched by the raise (strictly
+  // behind the wall) must not grow.
+  for (u32 e = 0; e < tl.edge_count(); ++e) {
+    const Edge& ed = tl.edges()[e];
+    if (tl.vertex(ed.a).x >= max_x - 8 || tl.vertex(ed.b).x >= max_x - 8) continue;
+    double len_l = 0, len_h = 0;
+    for (const auto& p : rl.map.pieces(e)) len_l += p.y1.approx() - p.y0.approx();
+    for (const auto& p : rh.map.pieces(e)) len_h += p.y1.approx() - p.y0.approx();
+    EXPECT_LE(len_h, len_l + 1e-9) << "edge " << e << " gained visibility behind a taller wall";
+  }
+}
+
+TEST(Visibility, SmallestTerrain) {
+  // Single triangle, tilted so nothing self-occludes (see test_degenerate).
+  std::vector<Vertex3> v{{0, 0, 5}, {4, 3, 1}, {1, 7, 9}};
+  const Terrain t = Terrain::from_triangles(v, {{0, 1, 2}});
+  const auto r = hidden_surface_removal(t);
+  EXPECT_EQ(r.stats.n_edges, 3u);
+  EXPECT_EQ(r.stats.k_pieces, 3u);
+  EXPECT_EQ(r.stats.k_crossings, 0u);
+
+  // And one that does self-occlude: the far edge hides behind the surface.
+  std::vector<Vertex3> w{{0, 0, 5}, {4, 3, 9}, {1, 7, 2}};
+  const auto r2 = hidden_surface_removal(Terrain::from_triangles(w, {{0, 1, 2}}));
+  EXPECT_EQ(r2.stats.k_pieces, 2u);
+}
+
+TEST(Visibility, CrossingEndpointsAreConsistent) {
+  GenOptions opt;
+  opt.family = Family::Spikes;
+  opt.grid = 14;
+  opt.spike_density = 0.2;
+  const Terrain t = make_terrain(opt);
+  const auto r = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
+  // Every Crossing endpoint names a real profile edge (never kNoEdge).
+  for (u32 e = 0; e < t.edge_count(); ++e) {
+    for (const auto& p : r.map.pieces(e)) {
+      if (p.k0 == EndpointKind::Crossing) {
+        EXPECT_NE(p.other0, kNoEdge);
+      }
+      if (p.k1 == EndpointKind::Crossing) {
+        EXPECT_NE(p.other1, kNoEdge);
+      }
+      if (p.k0 == EndpointKind::SegmentEnd) {
+        EXPECT_EQ(p.other0, kNoEdge);
+      }
+      if (p.k1 == EndpointKind::SegmentEnd) {
+        EXPECT_EQ(p.other1, kNoEdge);
+      }
+    }
+  }
+  EXPECT_GT(r.stats.k_crossings, 0u);
+}
+
+}  // namespace
+}  // namespace thsr
