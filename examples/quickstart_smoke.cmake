@@ -1,0 +1,14 @@
+# Smoke test for the quickstart example, run by CTest via -P. Checks BOTH the
+# exit status and the output: a bare PASS_REGULAR_EXPRESSION would ignore the
+# exit code, letting a crash after the first matching line pass.
+execute_process(
+  COMMAND ${QUICKSTART} 16 7
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with '${rc}'\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "k_pieces=[1-9][0-9]*")
+  message(FATAL_ERROR "quickstart printed no nonzero visible-piece count\nstdout:\n${out}")
+endif()

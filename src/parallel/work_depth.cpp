@@ -10,16 +10,26 @@ struct Bucket {
   Counters c;
 };
 
-std::mutex g_mu;
+// Buckets outlive their threads (a worker's counts must stay visible to
+// snapshot() after the thread exits) and must stay valid through static
+// destruction (a worker may still count() while other statics are torn
+// down), so the registry — and the mutex guarding it — are never
+// destroyed. Keeping the container alive also keeps every bucket
+// reachable, so leak checkers stay quiet.
+std::mutex& mu() {
+  static auto* m = new std::mutex();
+  return *m;
+}
+
 std::vector<Bucket*>& registry() {
-  static std::vector<Bucket*> r;
-  return r;
+  static auto* r = new std::vector<Bucket*>();
+  return *r;
 }
 
 Bucket& local_bucket() {
   thread_local Bucket* b = [] {
-    auto* fresh = new Bucket();  // intentionally leaked: lives as long as the thread registry
-    std::lock_guard<std::mutex> lk(g_mu);
+    auto* fresh = new Bucket();
+    std::lock_guard<std::mutex> lk(mu());
     registry().push_back(fresh);
     return fresh;
   }();
@@ -31,14 +41,14 @@ Bucket& local_bucket() {
 void count(Op op, u64 n) noexcept { local_bucket().c.v[static_cast<std::size_t>(op)] += n; }
 
 Counters snapshot() noexcept {
-  std::lock_guard<std::mutex> lk(g_mu);
+  std::lock_guard<std::mutex> lk(mu());
   Counters total;
   for (const Bucket* b : registry()) total += b->c;
   return total;
 }
 
 void reset() noexcept {
-  std::lock_guard<std::mutex> lk(g_mu);
+  std::lock_guard<std::mutex> lk(mu());
   for (Bucket* b : registry()) b->c = Counters{};
 }
 
