@@ -1,0 +1,269 @@
+/// bench_ci — counter-only perf-regression driver for CI.
+///
+/// Runs the counter-relevant workloads of benches E1 (Theorem 3.1 work
+/// bound), E3 (schedule-independence), and E12 (phase-2 oracle ablation)
+/// once each — no timing repetitions — and records the machine-independent
+/// work_depth counters as JSON. Because every grain/strip decision in the
+/// library is pinned to constants (see kEnvMergeStrips), the counters are
+/// bit-identical across machines, thread counts, and backends, so a
+/// committed baseline (bench/baselines/BENCH_BASELINE.json) can gate
+/// regressions exactly; the >0% tolerance only forgives deliberate small
+/// algorithm tweaks between baseline refreshes.
+///
+/// Usage:
+///   bench_ci [--out BENCH_CI.json] [--check BASELINE.json] [--tolerance 5]
+///
+/// Exit status with --check: 0 when no counter grew more than the
+/// tolerance (percent) over the baseline and no baseline case disappeared;
+/// 1 otherwise. New cases missing from the baseline are reported but do
+/// not fail (refresh the baseline to adopt them).
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "parallel/backend.hpp"
+
+namespace {
+
+using namespace thsr;
+
+using CounterMap = std::map<std::string, u64>;
+using CaseMap = std::map<std::string, CounterMap>;
+
+CounterMap to_counter_map(const Counters& c) {
+  CounterMap m;
+  for (std::size_t i = 0; i < c.v.size(); ++i) m[std::string(kOpNames[i])] = c.v[i];
+  m["total"] = c.total();
+  return m;
+}
+
+void write_json(const CaseMap& cases, const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n  \"schema\": 1,\n"
+     << "  \"note\": \"machine-independent thsr work_depth counters; identical across "
+        "backends, thread counts, and hosts\",\n"
+     << "  \"cases\": {\n";
+  std::size_t ci = 0;
+  for (const auto& [name, counters] : cases) {
+    os << "    \"" << name << "\": {";
+    std::size_t ki = 0;
+    for (const auto& [k, v] : counters) {
+      os << "\"" << k << "\": " << v;
+      if (++ki < counters.size()) os << ", ";
+    }
+    os << "}";
+    if (++ci < cases.size()) os << ",";
+    os << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+/// Minimal parser for the exact JSON shape write_json produces (flat
+/// two-level object of unsigned integers). Tolerant of whitespace; not a
+/// general JSON parser.
+class BaselineParser {
+ public:
+  explicit BaselineParser(std::string text) : s_(std::move(text)) {}
+
+  std::optional<CaseMap> parse() {
+    CaseMap out;
+    if (!seek_key("cases") || !expect('{')) return std::nullopt;
+    skip_ws();
+    if (peek() == '}') return out;  // empty
+    for (;;) {
+      const auto name = parse_string();
+      if (!name || !expect(':') || !expect('{')) return std::nullopt;
+      CounterMap counters;
+      skip_ws();
+      if (peek() != '}') {
+        for (;;) {
+          const auto key = parse_string();
+          if (!key || !expect(':')) return std::nullopt;
+          const auto val = parse_u64();
+          if (!val) return std::nullopt;
+          counters[*key] = *val;
+          skip_ws();
+          if (peek() == ',') { ++i_; continue; }
+          break;
+        }
+      }
+      if (!expect('}')) return std::nullopt;
+      out[*name] = std::move(counters);
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      break;
+    }
+    if (!expect('}')) return std::nullopt;
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+  }
+  char peek() { return i_ < s_.size() ? s_[i_] : '\0'; }
+  bool expect(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+  std::optional<std::string> parse_string() {
+    if (!expect('"')) return std::nullopt;
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') out.push_back(s_[i_++]);
+    if (i_ >= s_.size()) return std::nullopt;
+    ++i_;  // closing quote
+    return out;
+  }
+  std::optional<u64> parse_u64() {
+    skip_ws();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
+    u64 v = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) v = v * 10 + (s_[i_++] - '0');
+    return v;
+  }
+  bool seek_key(const std::string& key) {
+    const std::string quoted = "\"" + key + "\"";
+    const auto pos = s_.find(quoted);
+    if (pos == std::string::npos) return false;
+    i_ = pos + quoted.size();
+    return expect(':');
+  }
+
+  std::string s_;
+  std::size_t i_ = 0;
+};
+
+/// Compare current counters against the baseline. Returns the number of
+/// failures (regressions beyond `tolerance_pct`, or lost cases/counters).
+int check(const CaseMap& baseline, const CaseMap& current, double tolerance_pct) {
+  int failures = 0;
+  for (const auto& [name, base_counters] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::cout << "FAIL  " << name << ": case present in baseline but not produced\n";
+      ++failures;
+      continue;
+    }
+    for (const auto& [k, base_v] : base_counters) {
+      const auto kit = it->second.find(k);
+      if (kit == it->second.end()) {
+        std::cout << "FAIL  " << name << "/" << k << ": counter missing\n";
+        ++failures;
+        continue;
+      }
+      const u64 cur_v = kit->second;
+      if (cur_v == base_v) continue;
+      const double delta_pct =
+          base_v == 0 ? 100.0
+                      : 100.0 * (static_cast<double>(cur_v) - static_cast<double>(base_v)) /
+                            static_cast<double>(base_v);
+      std::ostringstream line;
+      line << name << "/" << k << ": " << base_v << " -> " << cur_v << " ("
+           << Table::num(delta_pct, 2) << "%)";
+      if (delta_pct > tolerance_pct) {
+        std::cout << "FAIL  " << line.str() << " exceeds +" << tolerance_pct << "%\n";
+        ++failures;
+      } else {
+        std::cout << "note  " << line.str() << "\n";
+      }
+    }
+  }
+  for (const auto& [name, _] : current) {
+    if (!baseline.count(name)) {
+      std::cout << "note  " << name << ": new case not in baseline (refresh to adopt)\n";
+    }
+  }
+  return failures;
+}
+
+void run_case(CaseMap& cases, const std::string& name, Family fam, u32 grid,
+              Phase2Oracle oracle = Phase2Oracle::Persistent) {
+  const Terrain terr = bench::make(fam, grid);
+  // threads=2 exercises the parallel code paths; the counters are the same
+  // at any p and on any backend (asserted by test_determinism).
+  const HsrResult r = hidden_surface_removal(
+      terr, {.algorithm = Algorithm::Parallel, .threads = 2, .phase2_oracle = oracle});
+  cases[name] = to_counter_map(r.stats.work);
+  cases[name]["k_pieces"] = r.stats.k_pieces;
+  cases[name]["treap_nodes"] = r.stats.treap_nodes;
+  cases[name]["phase1_pieces"] = r.stats.phase1_pieces;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_CI.json";
+  std::string check_path;
+  double tolerance = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else if (arg == "--check") {
+      if (const char* v = next()) check_path = v;
+    } else if (arg == "--tolerance") {
+      if (const char* v = next()) tolerance = std::atof(v);
+    } else {
+      std::cerr << "usage: bench_ci [--out FILE] [--check BASELINE] [--tolerance PCT]\n";
+      return 2;
+    }
+  }
+
+  CaseMap cases;
+  // E1 (Theorem 3.1 work bound): the table's grid sweep.
+  for (const u32 g : {24u, 32u, 48u, 64u, 96u}) {
+    run_case(cases, "e1/fbm/g" + std::to_string(g), Family::Fbm, g);
+  }
+  // E3 (schedule-independence): the speedup table's inputs.
+  for (const u32 g : {48u, 96u}) {
+    run_case(cases, "e3/fbm/g" + std::to_string(g), Family::Fbm, g);
+  }
+  // E12 (phase-2 oracle ablation): both oracles, both families.
+  for (const u32 g : {24u, 48u, 96u}) {
+    run_case(cases, "e12/fbm/g" + std::to_string(g) + "/persistent", Family::Fbm, g,
+             Phase2Oracle::Persistent);
+    run_case(cases, "e12/fbm/g" + std::to_string(g) + "/materialized", Family::Fbm, g,
+             Phase2Oracle::MaterializedScan);
+    run_case(cases, "e12/terrace/g" + std::to_string(g) + "/persistent", Family::TerraceBack, g,
+             Phase2Oracle::Persistent);
+    run_case(cases, "e12/terrace/g" + std::to_string(g) + "/materialized", Family::TerraceBack,
+             g, Phase2Oracle::MaterializedScan);
+  }
+
+  write_json(cases, out_path);
+  std::cout << "wrote " << cases.size() << " cases to " << out_path << "\n";
+
+  if (check_path.empty()) return 0;
+  std::ifstream is(check_path);
+  if (!is) {
+    std::cerr << "bench_ci: cannot read baseline " << check_path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  BaselineParser parser(buf.str());
+  const auto baseline = parser.parse();
+  if (!baseline) {
+    std::cerr << "bench_ci: cannot parse baseline " << check_path << "\n";
+    return 1;
+  }
+  const int failures = check(*baseline, cases, tolerance);
+  if (failures) {
+    std::cout << failures << " counter regression(s) beyond +" << tolerance << "%\n";
+    return 1;
+  }
+  std::cout << "counters within +" << tolerance << "% of baseline (" << baseline->size()
+            << " cases)\n";
+  return 0;
+}

@@ -20,6 +20,15 @@ inline bool large() {
   return v && std::string(v) == "1";
 }
 
+/// The backends whose p-scaling is worth tabulating (Serial scales by
+/// definition not at all; benches add it as an explicit baseline row
+/// where useful).
+inline std::vector<par::Backend> scaling_backends() {
+  std::vector<par::Backend> out = par::available_backends();
+  std::erase(out, par::Backend::Serial);
+  return out;
+}
+
 inline Terrain make(Family f, u32 grid, u64 seed = 1, double spike_density = 0.05) {
   GenOptions opt;
   opt.family = f;
@@ -49,7 +58,7 @@ inline std::string ms(double seconds) { return Table::num(seconds * 1e3, 2); }
 inline void print_header(const char* id, const char* paper_artefact, const char* claim) {
   std::cout << "## " << id << " — " << paper_artefact << "\n"
             << "claim: " << claim << "\n\n";
-  // Spin up the OpenMP worker pool and warm caches so the first table row is
+  // Spin up the backend's workers and warm caches so the first table row is
   // not charged the one-time thread-creation cost.
   const Terrain warmup = make(Family::Fbm, 16);
   (void)hidden_surface_removal(warmup, {.algorithm = Algorithm::Parallel});

@@ -1,8 +1,9 @@
 /// E9 — Lemmas 2.1/2.2 (Brent slow-down with explicit processor
 /// allocation): executing N unequal tasks on p workers costs
-/// t_{p,N} + N·t/p. Measured: the scheduler-overhead term t_{p,N} for the
-/// schedules OpenMP offers, against task count and skew — the justification
-/// for realizing the paper's processor allocation with dynamic scheduling.
+/// t_{p,N} + N·t/p. Measured: the scheduler-overhead term t_{p,N} per
+/// backend (OpenMP's four schedules; the pool's dynamic-chunk analogue of
+/// each), against task count and skew — the justification for realizing
+/// the paper's processor allocation with dynamic scheduling.
 
 #include <random>
 
@@ -17,8 +18,9 @@ int main() {
                "allocation overhead t_{p,N} small and ~linear in N; dynamic handles skew");
 
   const int p = par::max_threads();
-  Table t({"tasks", "skew", "schedule", "serial_ms", "wall_ms", "ideal_ms", "overhead_ms",
-           "efficiency"});
+  const par::Backend prev = par::backend();
+  Table t({"tasks", "skew", "backend", "schedule", "serial_ms", "wall_ms", "ideal_ms",
+           "overhead_ms", "efficiency"});
   std::mt19937_64 g{7};
   for (const std::size_t n : {200ul, 2'000ul, 20'000ul}) {
     for (const bool skewed : {false, true}) {
@@ -27,15 +29,20 @@ int main() {
         std::uniform_int_distribution<u32> d(100, 40'000);
         for (auto& c : costs) c = d(g);
       }
-      for (const auto sched : {par::Schedule::StaticBlock, par::Schedule::StaticCyclic,
-                               par::Schedule::Dynamic, par::Schedule::Guided}) {
-        const auto rep = par::run_synthetic_tasks(costs, p, sched);
-        t.row({Table::num(static_cast<long long>(n)), skewed ? "yes" : "no",
-               par::schedule_name(sched), ms(rep.serial_s), ms(rep.wall_s), ms(rep.ideal_s),
-               ms(rep.overhead_s), Table::num(rep.ideal_s / rep.wall_s, 2)});
+      for (const par::Backend b : scaling_backends()) {
+        par::set_backend(b);
+        for (const auto sched : {par::Schedule::StaticBlock, par::Schedule::StaticCyclic,
+                                 par::Schedule::Dynamic, par::Schedule::Guided}) {
+          const auto rep = par::run_synthetic_tasks(costs, p, sched);
+          t.row({Table::num(static_cast<long long>(n)), skewed ? "yes" : "no",
+                 par::backend_name(b), par::schedule_name(sched), ms(rep.serial_s),
+                 ms(rep.wall_s), ms(rep.ideal_s), ms(rep.overhead_s),
+                 Table::num(rep.ideal_s / rep.wall_s, 2)});
+        }
       }
     }
   }
+  par::set_backend(prev);
   t.print_markdown(std::cout);
   t.maybe_write_csv("table_e9_slowdown");
   return 0;

@@ -2,6 +2,7 @@
 
 #include "core/detail.hpp"
 #include "parallel/backend.hpp"
+#include "support/check.hpp"
 
 namespace thsr {
 
@@ -64,6 +65,10 @@ void emit_visible(u32 edge, const QY& a, const QY& b, int initial,
 HsrResult hidden_surface_removal(const Terrain& t, const HsrOptions& opt) {
   const int prev_threads = par::max_threads();
   if (opt.threads > 0) par::set_threads(opt.threads);
+  const par::Backend prev_backend = par::backend();
+  // Contract: an explicitly requested backend must exist in this build —
+  // silently running on a different executor would defeat the request.
+  if (opt.backend) THSR_CHECK(par::set_backend(*opt.backend));
 
   detail::Timer total;
   HsrStats stats;
@@ -91,6 +96,7 @@ HsrResult hidden_surface_removal(const Terrain& t, const HsrOptions& opt) {
   stats.total_s = total.seconds();
   stats.work = scope.delta();
 
+  if (opt.backend) par::set_backend(prev_backend);
   if (opt.threads > 0) par::set_threads(prev_threads);
   return HsrResult{std::move(map), std::move(stats)};
 }

@@ -16,7 +16,9 @@
 ///                 substrate, PCT phase 1 (intermediate envelopes), PCT
 ///                 phase 2 (systolic prefix merging over persistent profile
 ///                 versions). Work O((n+k)·polylog n), span polylog; realized
-///                 on OpenMP (DESIGN.md section 1).
+///                 on a runtime-selectable fork-join backend — serial,
+///                 OpenMP, or the native work-stealing pool (DESIGN.md
+///                 section 1.1).
 ///
 /// Example:
 /// \code
@@ -26,7 +28,10 @@
 ///   std::cout << r.stats.k_pieces << " visible pieces\n";
 /// \endcode
 
+#include <optional>
+
 #include "core/visibility.hpp"
+#include "parallel/backend.hpp"
 #include "parallel/work_depth.hpp"
 #include "terrain/terrain.hpp"
 
@@ -50,6 +55,10 @@ struct HsrOptions {
   int threads{0};                 ///< 0 = current par::max_threads()
   bool collect_layer_stats{false};  ///< fill HsrStats::layers (Parallel only)
   Phase2Oracle phase2_oracle{Phase2Oracle::Persistent};
+  /// Fork-join executor for this run; nullopt = current par::backend()
+  /// (which honors the THSR_BACKEND environment override). The backend
+  /// never changes the output or the counted work, only wall clock.
+  std::optional<par::Backend> backend{};
 };
 
 /// Per-PCT-layer instrumentation (benches table_f1 / table_f3).

@@ -171,14 +171,16 @@ VisibilityMap run_parallel(const HsrContext& ctx, HsrStats& stats, bool layer_st
         const u32 e = ctx.order.order[nd.lo];
         if (!ctx.is_sliver[e]) env[v] = Envelope::of_segment(e, ctx.segs[e]);
       } else if (inner_parallel) {
-        env[v] =
-            merge_envelopes_parallel(env[nd.left], env[nd.right], ctx.segs,
-                                     2 * par::max_threads());
+        env[v] = merge_envelopes_parallel(env[nd.left], env[nd.right], ctx.segs,
+                                          kEnvMergeStrips);
       } else {
         env[v] = merge_envelopes(env[nd.left], env[nd.right], ctx.segs);
       }
     };
-    if (static_cast<i64>(nodes.size()) < 2 * par::max_threads()) {
+    // The strip-vs-plain merge decision must not depend on max_threads():
+    // strip merges emit (healed) seam pieces that the work counters see, and
+    // counted work is pinned to be identical across p (see kEnvMergeStrips).
+    if (nodes.size() < static_cast<std::size_t>(kEnvMergeStrips)) {
       for (u32 v : nodes) work_node(v, true);
     } else {
       par::parallel_for(

@@ -16,7 +16,7 @@ Envelope build_rec(std::span<const u32> ids, std::span<const Seg2> segs, bool pa
                  [&] { r = build_rec(ids.subspan(m), segs, parallel); },
                  parallel && ids.size() >= kParCutoff);
   if (parallel && l.size() + r.size() >= 4 * kParCutoff) {
-    return merge_envelopes_parallel(l, r, segs, 2 * par::max_threads());
+    return merge_envelopes_parallel(l, r, segs, kEnvMergeStrips);
   }
   return merge_envelopes(l, r, segs);
 }

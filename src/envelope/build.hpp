@@ -9,6 +9,15 @@
 
 namespace thsr {
 
+/// Strip count for strip-parallel merges. Deliberately a constant, NOT a
+/// function of max_threads(): the cut abscissae decide how many seam pieces
+/// the merge emits (healed afterwards, but counted), so a p-dependent strip
+/// count would make the work_depth counters vary with the thread count.
+/// With it fixed, counted work is identical across backends and p — the
+/// CREW schedule-independence that bench E3 and the perf-regression CI
+/// baselines (bench/baselines/) rely on.
+inline constexpr int kEnvMergeStrips = 16;
+
 /// Upper envelope of segments `ids` (indices into `segs`). Front-to-back
 /// input order: the earlier id wins exact ties (occluder-wins convention).
 Envelope envelope_of(std::span<const u32> ids, std::span<const Seg2> segs,

@@ -2,21 +2,100 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 namespace thsr::par {
 namespace {
-std::atomic<int> g_threads{0};  // 0 = not set yet: use hardware default
+
+std::atomic<int> g_threads{0};   // 0 = not set yet: use hardware default
+std::atomic<int> g_backend{-1};  // -1 = not resolved yet; else int(Backend)
+
+Backend default_backend() noexcept {
+#ifdef THSR_HAVE_OPENMP
+  return Backend::OpenMP;
+#else
+  return Backend::Pool;
+#endif
+}
+
+Backend resolve_backend() noexcept {
+  if (const char* env = std::getenv("THSR_BACKEND")) {
+    if (const auto b = parse_backend(env)) {
+      if (backend_available(*b)) return *b;
+      std::fprintf(stderr, "thsr: THSR_BACKEND=%s is not available in this build; using %s\n",
+                   env, backend_name(default_backend()));
+    } else if (env[0] != '\0') {
+      std::fprintf(stderr, "thsr: unknown THSR_BACKEND=%s (serial|openmp|pool); using %s\n",
+                   env, backend_name(default_backend()));
+    }
+  }
+  return default_backend();
+}
+
+}  // namespace
+
+Backend backend() noexcept {
+  int b = g_backend.load(std::memory_order_acquire);
+  if (b < 0) {
+    int expected = -1;
+    g_backend.compare_exchange_strong(expected, static_cast<int>(resolve_backend()),
+                                      std::memory_order_acq_rel, std::memory_order_acquire);
+    b = g_backend.load(std::memory_order_acquire);
+  }
+  return static_cast<Backend>(b);
+}
+
+bool set_backend(Backend b) noexcept {
+  if (!backend_available(b)) return false;
+  g_backend.store(static_cast<int>(b), std::memory_order_release);
+  return true;
+}
+
+bool backend_available(Backend b) noexcept {
+  switch (b) {
+    case Backend::Serial:
+    case Backend::Pool: return true;
+    case Backend::OpenMP:
+#ifdef THSR_HAVE_OPENMP
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::Serial: return "serial";
+    case Backend::OpenMP: return "openmp";
+    case Backend::Pool: return "pool";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "serial") return Backend::Serial;
+  if (name == "openmp") return Backend::OpenMP;
+  if (name == "pool") return Backend::Pool;
+  return std::nullopt;
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out{Backend::Serial, Backend::Pool};
+  if (backend_available(Backend::OpenMP)) out.push_back(Backend::OpenMP);
+  return out;
 }
 
 int max_threads() noexcept {
   const int p = g_threads.load(std::memory_order_relaxed);
   if (p > 0) return p;
 #ifdef THSR_HAVE_OPENMP
-  return omp_get_max_threads();
-#else
-  return std::max(1u, std::thread::hardware_concurrency());
+  if (backend() == Backend::OpenMP) return omp_get_max_threads();
 #endif
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
 
 void set_threads(int p) noexcept {
@@ -28,19 +107,31 @@ void set_threads(int p) noexcept {
 }
 
 bool in_parallel() noexcept {
+  switch (backend()) {
+    case Backend::OpenMP:
 #ifdef THSR_HAVE_OPENMP
-  return omp_in_parallel();
+      return omp_in_parallel();
 #else
-  return false;
+      return false;
 #endif
+    case Backend::Pool: return pool::on_worker();
+    case Backend::Serial: return false;
+  }
+  return false;
 }
 
 int worker_index() noexcept {
+  switch (backend()) {
+    case Backend::OpenMP:
 #ifdef THSR_HAVE_OPENMP
-  return omp_get_thread_num();
+      return omp_get_thread_num();
 #else
-  return 0;
+      return 0;
 #endif
+    case Backend::Pool: return std::max(0, pool::worker_id());
+    case Backend::Serial: return 0;
+  }
+  return 0;
 }
 
 }  // namespace thsr::par

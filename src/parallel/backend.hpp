@@ -6,19 +6,62 @@
 /// recursive divide-and-conquer maps to fork_join inside run_root_task.
 /// Concurrent *reads* of immutable shared structures are allowed everywhere
 /// (the CREW discipline); writes are always to thread-private or freshly
-/// allocated state. With OpenMP absent the backend degrades to serial
-/// execution with identical results (determinism tests rely on this).
+/// allocated state.
+///
+/// The executor behind these primitives is chosen *at runtime* (DESIGN.md
+/// section 1.1): `Backend::Serial` runs everything inline, `Backend::OpenMP`
+/// maps onto OpenMP parallel regions and tasks (when compiled in), and
+/// `Backend::Pool` runs on the library's own work-stealing fork-join pool
+/// (src/parallel/pool.hpp) — so builds without OpenMP still get real
+/// parallel speedup. All backends execute the identical operation set in
+/// the identical reduction structure; only placement differs, which is why
+/// results are bit-identical and the work_depth counters agree exactly
+/// across backends and thread counts (asserted by the determinism tests).
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "geometry/exactq.hpp"
+#include "parallel/pool.hpp"
 
 #ifdef THSR_HAVE_OPENMP
 #include <omp.h>
 #endif
 
 namespace thsr::par {
+
+/// Which executor realizes the PRAM primitives.
+enum class Backend {
+  Serial,  ///< inline execution on the calling thread (always available)
+  OpenMP,  ///< OpenMP parallel-for + tasks (available iff THSR_HAVE_OPENMP)
+  Pool,    ///< native work-stealing fork-join pool (always available)
+};
+
+/// The backend subsequent parallel regions will use. Resolved on first use
+/// from the THSR_BACKEND environment variable ("serial" | "openmp" |
+/// "pool"); default: OpenMP when compiled in, else Pool.
+Backend backend() noexcept;
+
+/// Select the backend. Returns false (and changes nothing) when `b` is not
+/// available in this build.
+bool set_backend(Backend b) noexcept;
+
+/// True when `b` can be selected in this build.
+bool backend_available(Backend b) noexcept;
+
+const char* backend_name(Backend b) noexcept;
+
+/// Parse "serial" / "openmp" / "pool" (exact match) into a Backend.
+std::optional<Backend> parse_backend(std::string_view name) noexcept;
+
+/// The backends selectable in this build, in {Serial, Pool[, OpenMP]}
+/// order. The one authoritative list for tests and benches.
+std::vector<Backend> available_backends();
 
 /// Number of workers the next parallel region will use.
 int max_threads() noexcept;
@@ -32,18 +75,80 @@ bool in_parallel() noexcept;
 /// Index of the calling worker in [0, max_threads()).
 int worker_index() noexcept;
 
+namespace detail {
+
+/// Fork `k` leaves running `mine` as a balanced task tree on the pool, so
+/// idle workers pick up branches by stealing. Off a pool worker (e.g. the
+/// inline fallback run_root takes after shutdown) there is nowhere to push
+/// forks, so the tree degenerates to one serial leaf — correct, since the
+/// leaves drain a shared counter and one drains it all.
+template <typename M>
+void mine_tree(int k, M& mine) {
+  if (k <= 1 || !pool::on_worker()) {
+    mine();
+    return;
+  }
+  const int half = k / 2;
+  auto left = [&] { mine_tree(half, mine); };
+  pool::Closure<decltype(left)> task(std::move(left));
+  pool::push(&task);
+  mine_tree(k - half, mine);
+  pool::join(&task);
+}
+
+/// Dynamic-chunk loop on the pool: max_threads() miners drain a shared
+/// iteration counter in chunks — the pool's analogue of OpenMP's
+/// schedule(dynamic) processor allocation (slow-down Lemma 2.1). A
+/// non-zero `chunk` fixes the chunk size exactly (the task allocator uses
+/// this to emulate specific schedules); 0 derives it from `grain` and n.
+template <typename F>
+void pool_parallel_for(i64 n, F& f, i64 grain, i64 chunk = 0) {
+  const int p = max_threads();
+  if (chunk <= 0) {
+    chunk = std::max<i64>(1, std::min<i64>(std::max<i64>(1, grain), n / (8 * p) + 1));
+  }
+  std::atomic<i64> next{0};
+  auto mine = [&] {
+    for (;;) {
+      const i64 i0 = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (i0 >= n) return;
+      const i64 i1 = std::min(n, i0 + chunk);
+      for (i64 i = i0; i < i1; ++i) f(i);
+    }
+  };
+  const int miners = static_cast<int>(std::min<i64>(p, (n + chunk - 1) / chunk));
+  auto root = [&] { mine_tree(miners, mine); };
+  pool::Closure<decltype(root)> task(std::move(root));
+  pool::run_root(&task, p);
+}
+
+}  // namespace detail
+
 /// PRAM-style "in parallel for all i in [0, n)". Dynamic schedule: the
 /// practical counterpart of the paper's processor-allocation step
 /// (slow-down Lemma 2.1); measured in bench table_e9_slowdown.
 template <typename F>
 void parallel_for(i64 n, F&& f, i64 grain = 256) {
+  if (n > grain && max_threads() > 1) {
+    switch (backend()) {
+      case Backend::OpenMP:
 #ifdef THSR_HAVE_OPENMP
-  if (n > grain && max_threads() > 1 && !omp_in_parallel()) {
+        if (!omp_in_parallel()) {
 #pragma omp parallel for schedule(dynamic, 16)
-    for (i64 i = 0; i < n; ++i) f(i);
-    return;
-  }
+          for (i64 i = 0; i < n; ++i) f(i);
+          return;
+        }
 #endif
+        break;
+      case Backend::Pool:
+        if (!pool::on_worker()) {
+          detail::pool_parallel_for(n, f, grain);
+          return;
+        }
+        break;
+      case Backend::Serial: break;
+    }
+  }
   (void)grain;
   for (i64 i = 0; i < n; ++i) f(i);
 }
@@ -51,14 +156,29 @@ void parallel_for(i64 n, F&& f, i64 grain = 256) {
 /// Run `f` as the root of a task tree (opens one parallel region).
 template <typename F>
 void run_root_task(F&& f) {
+  if (max_threads() > 1) {
+    switch (backend()) {
+      case Backend::OpenMP:
 #ifdef THSR_HAVE_OPENMP
-  if (max_threads() > 1 && !omp_in_parallel()) {
+        if (!omp_in_parallel()) {
 #pragma omp parallel
 #pragma omp single nowait
-    { f(); }
-    return;
-  }
+          { f(); }
+          return;
+        }
 #endif
+        break;
+      case Backend::Pool:
+        if (!pool::on_worker()) {
+          auto root = [&] { f(); };
+          pool::Closure<decltype(root)> task(std::move(root));
+          pool::run_root(&task, max_threads());
+          return;
+        }
+        break;
+      case Backend::Serial: break;
+    }
+  }
   f();
 }
 
@@ -66,15 +186,32 @@ void run_root_task(F&& f) {
 /// Must be called (transitively) from run_root_task for parallelism to occur.
 template <typename A, typename B>
 void fork_join(A&& a, B&& b, bool parallel_ok = true) {
+  if (parallel_ok) {
+    switch (backend()) {
+      case Backend::OpenMP:
 #ifdef THSR_HAVE_OPENMP
-  if (parallel_ok && omp_in_parallel()) {
+        if (omp_in_parallel()) {
 #pragma omp task default(shared) untied
-    { a(); }
-    b();
+          { a(); }
+          b();
 #pragma omp taskwait
-    return;
-  }
+          return;
+        }
 #endif
+        break;
+      case Backend::Pool:
+        if (pool::on_worker()) {
+          auto left = [&] { a(); };
+          pool::Closure<decltype(left)> task(std::move(left));
+          pool::push(&task);
+          b();
+          pool::join(&task);
+          return;
+        }
+        break;
+      case Backend::Serial: break;
+    }
+  }
   (void)parallel_ok;
   a();
   b();

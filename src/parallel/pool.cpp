@@ -1,0 +1,322 @@
+#include "parallel/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace thsr::par::pool {
+namespace {
+
+constexpr std::size_t kCacheLine = 64;
+
+/// Chase–Lev work-stealing deque of Task*. The owning worker pushes and
+/// pops at the bottom; thieves take from the top. This is the classic
+/// algorithm (Chase & Lev, SPAA 2005) with two deliberate strengthenings:
+/// slots are atomics and the top/bottom protocol uses seq_cst operations
+/// instead of standalone fences, so ThreadSanitizer models every edge
+/// (and the cost is irrelevant at fork-join granularity).
+class Deque {
+ public:
+  Deque() : array_(new Array(kInitialCap)) {}
+  ~Deque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+  Deque(const Deque&) = delete;
+  Deque& operator=(const Deque&) = delete;
+
+  /// Owner only.
+  void push(Task* t) {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 tp = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - tp > static_cast<i64>(a->cap) - 1) a = grow(a, tp, b);
+    a->put(b, t);
+    bottom_.store(b + 1, std::memory_order_seq_cst);  // publishes the slot
+  }
+
+  /// Owner only. Returns nullptr when empty (or lost the last element race).
+  Task* pop() {
+    const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    i64 tp = top_.load(std::memory_order_seq_cst);
+    Task* result = nullptr;
+    if (tp <= b) {
+      result = a->get(b);
+      if (tp == b) {
+        // Last element: race the thieves for it via top.
+        if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          result = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  /// Any thread. Returns nullptr when empty or on a lost race.
+  Task* steal() {
+    i64 tp = top_.load(std::memory_order_seq_cst);
+    const i64 b = bottom_.load(std::memory_order_seq_cst);
+    if (tp >= b) return nullptr;
+    // A stale array_ is benign: grow() only copies, it never mutates the
+    // old array, and retired arrays stay alive until the deque dies.
+    Array* a = array_.load(std::memory_order_acquire);
+    Task* result = a->get(tp);
+    if (!top_.compare_exchange_strong(tp, tp + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t kInitialCap = 256;
+
+  struct Array {
+    explicit Array(std::size_t c) : cap(c), mask(c - 1), slots(new std::atomic<Task*>[c]) {}
+    ~Array() { delete[] slots; }
+    Task* get(i64 i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(std::memory_order_relaxed);
+    }
+    void put(i64 i, Task* t) {
+      slots[static_cast<std::size_t>(i) & mask].store(t, std::memory_order_relaxed);
+    }
+    const std::size_t cap, mask;
+    std::atomic<Task*>* const slots;
+  };
+
+  Array* grow(Array* old, i64 tp, i64 b) {
+    auto* bigger = new Array(old->cap * 2);
+    for (i64 i = tp; i < b; ++i) bigger->put(i, old->get(i));
+    retired_.push_back(old);  // thieves may still hold a pointer to it
+    array_.store(bigger, std::memory_order_seq_cst);
+    return bigger;
+  }
+
+  alignas(kCacheLine) std::atomic<i64> top_{0};
+  alignas(kCacheLine) std::atomic<i64> bottom_{0};
+  alignas(kCacheLine) std::atomic<Array*> array_;
+  std::vector<Array*> retired_;  // owner-only, freed with the deque
+};
+
+struct Worker {
+  Deque deque;
+  std::thread thread;
+};
+
+thread_local int tl_worker_id = -1;
+
+struct Pool {
+  // Two locks with distinct jobs: lifecycle_mu serializes resize/shutdown
+  // end to end (held across worker joins — never taken by workers), while
+  // mu only guards the sleep condition (taken by workers in cv.wait, so it
+  // must NOT be held while joining them).
+  std::mutex lifecycle_mu;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::unique_ptr<Worker>> workers;  // stable pointers
+  std::atomic<int> n_workers{0};
+  std::atomic<int> active_roots{0};
+  std::atomic<bool> stopping{false};
+  bool dead{false};  // set at static destruction; guarded by lifecycle_mu
+  std::mutex inject_mu;
+  std::vector<Task*> inject;        // FIFO of externally submitted roots
+  std::atomic<int> inject_size{0};  // lock-free emptiness check for find_task
+
+  static Pool& get() {
+    static Pool p;
+    return p;
+  }
+
+  ~Pool() {
+    std::lock_guard<std::mutex> lk(lifecycle_mu);
+    stop_workers_locked();
+    dead = true;
+  }
+
+  /// Requires lifecycle_mu. Workers are only stopped when no root is
+  /// active, so their deques are empty and they are idle or asleep.
+  void stop_workers_locked() {
+    if (workers.empty()) return;
+    stopping.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lk(mu);  // pair with the cv.wait predicate
+    }
+    cv.notify_all();
+    for (auto& w : workers) w->thread.join();
+    workers.clear();
+    n_workers.store(0, std::memory_order_seq_cst);
+    stopping.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Returns true when the pool is running some workers on exit (usually
+  /// `want`; an older size when a resize is deferred because roots are in
+  /// flight). False only once the pool is dead or want could not be met.
+  bool ensure_workers(int want) {
+    if (n_workers.load(std::memory_order_acquire) == want) return true;
+    std::lock_guard<std::mutex> lk(lifecycle_mu);
+    if (dead) return false;
+    if (static_cast<int>(workers.size()) == want) return true;
+    if (active_roots.load(std::memory_order_acquire) > 0) return !workers.empty();
+    stop_workers_locked();
+    workers.reserve(static_cast<std::size_t>(want));
+    for (int i = 0; i < want; ++i) workers.push_back(std::make_unique<Worker>());
+    n_workers.store(want, std::memory_order_seq_cst);
+    for (int i = 0; i < want; ++i) {
+      workers[static_cast<std::size_t>(i)]->thread = std::thread([this, i] { worker_main(i); });
+    }
+    return true;
+  }
+
+  Task* pop_injected() {
+    // Cheap pre-check: find_task runs continuously on every idle worker,
+    // so taking the mutex only when a root is actually queued keeps the
+    // steal path lock-free in the common case.
+    if (inject_size.load(std::memory_order_acquire) == 0) return nullptr;
+    std::lock_guard<std::mutex> lk(inject_mu);
+    if (inject.empty()) return nullptr;
+    Task* t = inject.front();
+    inject.erase(inject.begin());
+    inject_size.fetch_sub(1, std::memory_order_acq_rel);
+    return t;
+  }
+
+  Task* find_task(int id) {
+    Worker& self = *workers[static_cast<std::size_t>(id)];
+    if (Task* t = self.deque.pop()) return t;
+    if (Task* t = pop_injected()) return t;
+    const int n = n_workers.load(std::memory_order_relaxed);
+    // Deterministic round-robin starting after self: victim order does not
+    // affect results (CREW), only load balance, and it is cheap.
+    for (int i = 1; i < n; ++i) {
+      const int victim = (id + i) % n;
+      if (Task* t = workers[static_cast<std::size_t>(victim)]->deque.steal()) return t;
+    }
+    return nullptr;
+  }
+
+  void execute_task(Task* t) {
+    t->run(t);
+    // Everything about `t` must be read before the store: the waiter may
+    // observe pending==0 and destroy the (stack-allocated) task at once.
+    const bool is_root = t->is_root;
+    t->pending.store(0, std::memory_order_release);
+    if (is_root) {
+      // Wake the external waiter via the pool's cv (which outlives every
+      // task) — notifying t->pending itself after the store would race
+      // with the task's destruction. Workers woken spuriously re-check
+      // their predicate and go back to sleep.
+      {
+        std::lock_guard<std::mutex> lk(mu);
+      }
+      cv.notify_all();
+    }
+  }
+
+  void worker_main(int id) {
+    tl_worker_id = id;
+    int misses = 0;  // consecutive find_task failures
+    for (;;) {
+      if (Task* t = find_task(id)) {
+        execute_task(t);
+        misses = 0;
+        continue;
+      }
+      if (stopping.load(std::memory_order_acquire)) return;
+      if (active_roots.load(std::memory_order_acquire) > 0) {
+        // A root is in flight: stay hot at first (steals land within a
+        // scheduling quantum), but back off to a timed park after a spell
+        // of misses so long serial stretches inside a root — and
+        // oversubscribed runs — do not burn whole cores on yield loops.
+        // Task pushes deliberately never notify, so the park self-wakes.
+        if (++misses < kSpinMisses) {
+          std::this_thread::yield();
+        } else {
+          std::unique_lock<std::mutex> lk(mu);
+          cv.wait_for(lk, std::chrono::microseconds(200));
+        }
+        continue;
+      }
+      misses = 0;
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [this] {
+        return stopping.load(std::memory_order_acquire) ||
+               active_roots.load(std::memory_order_acquire) > 0;
+      });
+      if (stopping.load(std::memory_order_acquire)) return;
+    }
+  }
+
+  static constexpr int kSpinMisses = 64;
+};
+
+}  // namespace
+
+bool on_worker() noexcept { return tl_worker_id >= 0; }
+
+int worker_id() noexcept { return tl_worker_id; }
+
+int workers() noexcept { return Pool::get().n_workers.load(std::memory_order_acquire); }
+
+void run_root(Task* t, int want_workers) {
+  Pool& p = Pool::get();
+  if (tl_worker_id >= 0 || want_workers <= 1 || !p.ensure_workers(want_workers)) {
+    // Inline execution: the caller is the (synchronous) waiter, so no
+    // completion signaling is needed — and after shutdown the pool's cv
+    // must not be touched at all.
+    t->run(t);
+    t->pending.store(0, std::memory_order_release);
+    return;
+  }
+  t->is_root = true;
+  p.active_roots.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(p.inject_mu);
+    p.inject.push_back(t);
+    p.inject_size.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    std::unique_lock<std::mutex> lk(p.mu);
+    // Taking mu pairs with the workers' cv.wait predicate: a worker that
+    // saw active_roots == 0 is either not yet blocked (will re-check
+    // under mu) or already in wait() and reachable by notify.
+    p.cv.notify_all();
+    p.cv.wait(lk, [t] { return t->pending.load(std::memory_order_acquire) == 0; });
+  }
+  p.active_roots.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void push(Task* t) {
+  THSR_DCHECK(tl_worker_id >= 0);
+  Pool& p = Pool::get();
+  p.workers[static_cast<std::size_t>(tl_worker_id)]->deque.push(t);
+}
+
+void join(Task* t) {
+  THSR_DCHECK(tl_worker_id >= 0);
+  Pool& p = Pool::get();
+  while (t->pending.load(std::memory_order_acquire) != 0) {
+    // Help instead of blocking: drain our own deque (LIFO gives back the
+    // task we just pushed in the common unstolen case), then steal. Pure
+    // loads on `pending` — join never waits on the task's atomic, so the
+    // executor never has to touch a task after marking it done.
+    if (Task* w = p.find_task(tl_worker_id)) {
+      p.execute_task(w);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace thsr::par::pool

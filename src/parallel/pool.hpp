@@ -1,0 +1,68 @@
+#pragma once
+/// \file pool.hpp
+/// Native work-stealing fork-join pool: the `Backend::Pool` realization of
+/// the CREW PRAM (DESIGN.md section 1.1). Every worker owns a Chase–Lev
+/// deque; fork pushes a stack-allocated task onto the forking worker's
+/// deque, join pops it back (the common, contention-free case) or helps by
+/// stealing until the thief finishes it. External threads enter through
+/// run_root(), which parks the caller while the task tree executes on the
+/// workers, so `set_threads(p)` bounds total concurrency by the pool size
+/// (p, except that a resize requested while roots are in flight is
+/// deferred — the old worker count applies until the next quiet root).
+///
+/// The implementation avoids standalone atomic fences so ThreadSanitizer
+/// can reason about every synchronization edge (the tsan CI preset runs
+/// the whole suite on this backend).
+
+#include <atomic>
+#include <utility>
+
+#include "geometry/exactq.hpp"
+
+namespace thsr::par::pool {
+
+/// A unit of fork-join work. The object lives on the forking frame's stack
+/// (the frame never unwinds past join()), so no allocation is needed per
+/// fork. `pending` is the join flag: 1 while unfinished, 0 when done. The
+/// executor never touches a task after storing pending=0 (the waiter may
+/// destroy it the moment it observes 0); root-completion wakeups go
+/// through the pool's own long-lived condition variable instead.
+struct Task {
+  void (*run)(Task*) = nullptr;
+  bool is_root = false;  // set by run_root before submission
+  std::atomic<u32> pending{1};
+};
+
+/// Task holding an arbitrary callable by value.
+template <typename F>
+class Closure final : public Task {
+ public:
+  explicit Closure(F f) : f_(std::move(f)) { run = &Closure::invoke; }
+
+ private:
+  static void invoke(Task* t) { static_cast<Closure*>(t)->f_(); }
+  F f_;
+};
+
+/// True when the calling thread is a pool worker (i.e. inside run_root).
+bool on_worker() noexcept;
+
+/// Index of the calling pool worker in [0, workers()), or -1 outside.
+int worker_id() noexcept;
+
+/// Number of workers the pool currently runs (0 before first use).
+int workers() noexcept;
+
+/// Run `t` to completion on the pool with `want_workers` workers, blocking
+/// the calling (external) thread. Falls back to inline execution when the
+/// pool is shut down, when want_workers <= 1, or when already on a worker.
+void run_root(Task* t, int want_workers);
+
+/// Push `t` onto the calling worker's deque. Must be called on a worker.
+void push(Task* t);
+
+/// Wait for `t` to finish, executing other pool work while waiting.
+/// Must be called on the worker that pushed `t`.
+void join(Task* t);
+
+}  // namespace thsr::par::pool

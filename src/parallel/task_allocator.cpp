@@ -19,20 +19,40 @@ double now_s() {
       .count();
 }
 
-void run_all(std::span<const u32> costs, [[maybe_unused]] Schedule sched) {
-#ifdef THSR_HAVE_OPENMP
-  switch (sched) {
-    case Schedule::StaticBlock: omp_set_schedule(omp_sched_static, 0); break;
-    case Schedule::StaticCyclic: omp_set_schedule(omp_sched_static, 1); break;
-    case Schedule::Dynamic: omp_set_schedule(omp_sched_dynamic, 1); break;
-    case Schedule::Guided: omp_set_schedule(omp_sched_guided, 1); break;
-  }
+void run_all(std::span<const u32> costs, Schedule sched) {
   const i64 n = static_cast<i64>(costs.size());
+#ifdef THSR_HAVE_OPENMP
+  if (backend() == Backend::OpenMP) {
+    switch (sched) {
+      case Schedule::StaticBlock: omp_set_schedule(omp_sched_static, 0); break;
+      case Schedule::StaticCyclic: omp_set_schedule(omp_sched_static, 1); break;
+      case Schedule::Dynamic: omp_set_schedule(omp_sched_dynamic, 1); break;
+      case Schedule::Guided: omp_set_schedule(omp_sched_guided, 1); break;
+    }
 #pragma omp parallel for schedule(runtime)
-  for (i64 i = 0; i < n; ++i) spin(costs[static_cast<std::size_t>(i)]);
-#else
-  for (u32 c : costs) spin(c);
+    for (i64 i = 0; i < n; ++i) spin(costs[static_cast<std::size_t>(i)]);
+    return;
+  }
 #endif
+  // Pool / Serial backends: the pool's dynamic-chunk loop, with the chunk
+  // size fixed to the nearest analogue of the requested schedule. (The
+  // pool has no static placement; StaticBlock/StaticCyclic differ from the
+  // dynamic schedules only through the chunk size, which is the part the
+  // lemma's t_{p,N} term charges for anyway.)
+  const i64 p = std::max(1, max_threads());
+  i64 chunk = 1;
+  switch (sched) {
+    case Schedule::StaticBlock: chunk = (n + p - 1) / p; break;
+    case Schedule::StaticCyclic: chunk = 1; break;
+    case Schedule::Dynamic: chunk = 1; break;
+    case Schedule::Guided: chunk = std::max<i64>(1, n / (4 * p)); break;
+  }
+  auto body = [&](i64 i) { spin(costs[static_cast<std::size_t>(i)]); };
+  if (backend() == Backend::Pool && p > 1 && !pool::on_worker()) {
+    detail::pool_parallel_for(n, body, /*grain=*/1, chunk);
+    return;
+  }
+  for (i64 i = 0; i < n; ++i) body(i);
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 /// directly, so the library counts the operations that dominate each bound
 /// (exact comparisons, crossings found, persistent nodes created, oracle
 /// queries, envelope pieces touched) in thread-local buckets with negligible
-/// overhead. Benches E1/E3/E4/E8 report these counters against the claimed
-/// asymptotics.
+/// overhead. Any thread — OpenMP team member, pool worker, external caller —
+/// registers its bucket lazily on first count(); buckets outlive their
+/// threads so totals survive pool resizes. Benches E1/E3/E4/E8 report these
+/// counters against the claimed asymptotics, and bench_ci gates CI on them
+/// (they are exactly schedule-, backend-, and machine-independent).
 
 #include <array>
 #include <cstdint>

@@ -32,6 +32,32 @@ TEST_P(DeterminismP, MapIndependentOfThreadCount) {
   // Structure size is also schedule-independent (content-hashed shapes).
   EXPECT_EQ(p1.stats.treap_nodes, p2.stats.treap_nodes);
   EXPECT_EQ(p1.stats.phase1_pieces, p2.stats.phase1_pieces);
+  // Counted work is *exactly* schedule-independent: every grain/strip
+  // decision is pinned to constants (kEnvMergeStrips), so the same
+  // operations run at every p — only their placement changes. The perf
+  // CI baselines (bench/baselines/) depend on this being exact.
+  EXPECT_EQ(p1.stats.work.v, p2.stats.work.v);
+  EXPECT_EQ(p1.stats.work.v, p4.stats.work.v);
+}
+
+TEST_P(DeterminismP, MapAndWorkIndependentOfBackend) {
+  GenOptions opt;
+  opt.family = GetParam();
+  opt.grid = 18;
+  opt.seed = 9;
+  const Terrain t = make_terrain(opt);
+
+  const auto base =
+      hidden_surface_removal(t, {.algorithm = Algorithm::Parallel, .threads = 3,
+                                 .backend = par::Backend::Serial});
+  for (const par::Backend b : par::available_backends()) {
+    const auto r = hidden_surface_removal(
+        t, {.algorithm = Algorithm::Parallel, .threads = 3, .backend = b});
+    EXPECT_FALSE(base.map.first_difference(r.map).has_value()) << par::backend_name(b);
+    EXPECT_EQ(base.stats.treap_nodes, r.stats.treap_nodes) << par::backend_name(b);
+    EXPECT_EQ(base.stats.phase1_pieces, r.stats.phase1_pieces) << par::backend_name(b);
+    EXPECT_EQ(base.stats.work.v, r.stats.work.v) << par::backend_name(b);
+  }
 }
 
 TEST_P(DeterminismP, RepeatedRunsBitEqual) {

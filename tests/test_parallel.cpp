@@ -1,13 +1,18 @@
 /// Parallel primitive tests: scan / merge / sort vs serial references across
-/// thread counts, work counters, and the task allocator.
+/// every available backend and thread count, work counters, the native
+/// work-stealing pool (nesting, strict-serial mode, oversubscription), and
+/// the task allocator.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <random>
+#include <thread>
 
 #include "parallel/backend.hpp"
 #include "parallel/merge_sort.hpp"
+#include "parallel/pool.hpp"
 #include "parallel/scan.hpp"
 #include "parallel/task_allocator.hpp"
 #include "parallel/work_depth.hpp"
@@ -16,14 +21,22 @@
 namespace thsr {
 namespace {
 
-class ParallelP : public ::testing::TestWithParam<int> {
+/// Fixture selecting a (backend, thread count) pair for the test body and
+/// restoring the previous configuration afterwards.
+class ParallelP : public ::testing::TestWithParam<std::tuple<par::Backend, int>> {
  protected:
   void SetUp() override {
-    prev_ = par::max_threads();
-    par::set_threads(GetParam());
+    prev_threads_ = par::max_threads();
+    prev_backend_ = par::backend();
+    ASSERT_TRUE(par::set_backend(std::get<0>(GetParam())));
+    par::set_threads(std::get<1>(GetParam()));
   }
-  void TearDown() override { par::set_threads(prev_); }
-  int prev_{1};
+  void TearDown() override {
+    par::set_threads(prev_threads_);
+    par::set_backend(prev_backend_);
+  }
+  int prev_threads_{1};
+  par::Backend prev_backend_{par::Backend::Serial};
 };
 
 TEST_P(ParallelP, ParallelForCoversAllIndices) {
@@ -88,8 +101,47 @@ TEST_P(ParallelP, SortMatchesStdSort) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, ParallelP, ::testing::Values(1, 2, 4),
-                         [](const auto& info) { return "p" + std::to_string(info.param); });
+TEST_P(ParallelP, NestedForkJoinInsideParallelFor) {
+  // Every iteration forks a private two-branch task pair: the pool must
+  // support fork_join from inside a parallel_for region (and OpenMP maps it
+  // onto tasks of the surrounding team).
+  const i64 n = 2'000;
+  std::atomic<i64> left{0}, right{0};
+  par::parallel_for(
+      n,
+      [&](i64) {
+        par::fork_join([&] { left.fetch_add(1, std::memory_order_relaxed); },
+                       [&] { right.fetch_add(1, std::memory_order_relaxed); });
+      },
+      /*grain=*/64);
+  EXPECT_EQ(left.load(), n);
+  EXPECT_EQ(right.load(), n);
+}
+
+TEST_P(ParallelP, DeepForkJoinRecursion) {
+  // Binary task recursion to depth ~2^12 leaves: exercises deque growth and
+  // the help-while-joining path.
+  struct Rec {
+    static i64 count(i64 lo, i64 hi) {
+      if (hi - lo <= 1) return 1;
+      const i64 mid = lo + (hi - lo) / 2;
+      i64 a = 0, b = 0;
+      par::fork_join([&] { a = count(lo, mid); }, [&] { b = count(mid, hi); });
+      return a + b;
+    }
+  };
+  i64 total = 0;
+  par::run_root_task([&] { total = Rec::count(0, 4096); });
+  EXPECT_EQ(total, 4096);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ParallelP,
+    ::testing::Combine(::testing::ValuesIn(par::available_backends()), ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::string(par::backend_name(std::get<0>(info.param))) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 TEST(WorkDepth, CountersAccumulateAcrossThreads) {
   work::reset();
@@ -98,6 +150,20 @@ TEST(WorkDepth, CountersAccumulateAcrossThreads) {
   EXPECT_EQ(c[Op::ExactCmp], 10'000u);
   work::reset();
   EXPECT_EQ(work::snapshot()[Op::ExactCmp], 0u);
+}
+
+TEST(WorkDepth, CountersSeePoolWorkerThreads) {
+  // Pool workers register their thread-local buckets lazily on first
+  // count(); snapshot() must see work done on them.
+  const par::Backend prev = par::backend();
+  const int prev_p = par::max_threads();
+  ASSERT_TRUE(par::set_backend(par::Backend::Pool));
+  par::set_threads(4);
+  work::reset();
+  par::parallel_for(50'000, [&](i64) { work::count(Op::OracleStep); }, 16);
+  EXPECT_EQ(work::snapshot()[Op::OracleStep], 50'000u);
+  par::set_threads(prev_p);
+  par::set_backend(prev);
 }
 
 TEST(WorkDepth, ScopeDeltas) {
@@ -135,6 +201,106 @@ TEST(Backend, ThreadControl) {
   par::set_threads(3);
   EXPECT_EQ(par::max_threads(), 3);
   par::set_threads(prev);
+}
+
+TEST(Backend, NamesParseAndAvailability) {
+  using par::Backend;
+  EXPECT_STREQ(par::backend_name(Backend::Serial), "serial");
+  EXPECT_STREQ(par::backend_name(Backend::OpenMP), "openmp");
+  EXPECT_STREQ(par::backend_name(Backend::Pool), "pool");
+  EXPECT_EQ(par::parse_backend("serial"), Backend::Serial);
+  EXPECT_EQ(par::parse_backend("openmp"), Backend::OpenMP);
+  EXPECT_EQ(par::parse_backend("pool"), Backend::Pool);
+  EXPECT_EQ(par::parse_backend("POOL"), std::nullopt);
+  EXPECT_EQ(par::parse_backend(""), std::nullopt);
+  EXPECT_TRUE(par::backend_available(Backend::Serial));
+  EXPECT_TRUE(par::backend_available(Backend::Pool));
+#ifndef THSR_HAVE_OPENMP
+  EXPECT_FALSE(par::backend_available(Backend::OpenMP));
+  EXPECT_FALSE(par::set_backend(Backend::OpenMP));  // refused, nothing changes
+#endif
+  const Backend prev = par::backend();
+  for (const par::Backend b : par::available_backends()) {
+    ASSERT_TRUE(par::set_backend(b));
+    EXPECT_EQ(par::backend(), b);
+  }
+  par::set_backend(prev);
+}
+
+TEST(Backend, SetThreadsOneIsStrictlySerial) {
+  // The contract `set_threads(1) == serial execution on the calling thread`
+  // must hold on every backend: no region is opened, no worker touched.
+  const par::Backend prev = par::backend();
+  const int prev_p = par::max_threads();
+  const auto self = std::this_thread::get_id();
+  for (const par::Backend b : par::available_backends()) {
+    ASSERT_TRUE(par::set_backend(b));
+    par::set_threads(1);
+    int on_other_thread = 0;
+    par::parallel_for(10'000, [&](i64) {
+      if (std::this_thread::get_id() != self || par::in_parallel()) ++on_other_thread;
+    });
+    par::run_root_task([&] {
+      par::fork_join([&] { if (std::this_thread::get_id() != self) ++on_other_thread; },
+                     [&] { if (std::this_thread::get_id() != self) ++on_other_thread; });
+    });
+    EXPECT_EQ(on_other_thread, 0) << par::backend_name(b);
+  }
+  par::set_threads(prev_p);
+  par::set_backend(prev);
+}
+
+TEST(Pool, OversubscriptionBeyondHardwareConcurrency) {
+  const par::Backend prev = par::backend();
+  const int prev_p = par::max_threads();
+  ASSERT_TRUE(par::set_backend(par::Backend::Pool));
+  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  par::set_threads(4 * hw);
+  auto g = test::rng(41);
+  std::uniform_int_distribution<int> d(-1'000'000, 1'000'000);
+  std::vector<int> xs(150'000);
+  for (auto& x : xs) x = d(g);
+  auto expect = xs;
+  std::sort(expect.begin(), expect.end());
+  par::parallel_sort<int>(xs, std::less<int>{}, /*grain=*/512);
+  EXPECT_EQ(xs, expect);
+  std::atomic<i64> sum{0};
+  par::parallel_for(100'000, [&](i64 i) { sum.fetch_add(i, std::memory_order_relaxed); }, 64);
+  EXPECT_EQ(sum.load(), i64{100'000} * 99'999 / 2);
+  par::set_threads(prev_p);
+  par::set_backend(prev);
+}
+
+TEST(Pool, WorkerIdentityInsideRegions) {
+  const par::Backend prev = par::backend();
+  const int prev_p = par::max_threads();
+  ASSERT_TRUE(par::set_backend(par::Backend::Pool));
+  par::set_threads(4);
+  EXPECT_FALSE(par::in_parallel());
+  std::atomic<int> bad{0};
+  par::run_root_task([&] {
+    if (!par::in_parallel()) bad.fetch_add(1);
+    const int w = par::worker_index();
+    if (w < 0 || w >= par::max_threads()) bad.fetch_add(1);
+  });
+  EXPECT_FALSE(par::in_parallel());
+  EXPECT_EQ(bad.load(), 0);
+  par::set_threads(prev_p);
+  par::set_backend(prev);
+}
+
+TEST(Pool, RepeatedResizeIsSafe) {
+  const par::Backend prev = par::backend();
+  const int prev_p = par::max_threads();
+  ASSERT_TRUE(par::set_backend(par::Backend::Pool));
+  for (const int p : {2, 4, 1, 3, 2}) {
+    par::set_threads(p);
+    std::atomic<i64> n{0};
+    par::parallel_for(10'000, [&](i64) { n.fetch_add(1, std::memory_order_relaxed); }, 32);
+    EXPECT_EQ(n.load(), 10'000);
+  }
+  par::set_threads(prev_p);
+  par::set_backend(prev);
 }
 
 }  // namespace
