@@ -49,7 +49,9 @@ inline HsrResult solve_median3(const Terrain& t, const HsrOptions& opt) {
   runs.reserve(3);
   for (int i = 0; i < 3; ++i) runs.push_back(hidden_surface_removal(t, opt));
   std::sort(runs.begin(), runs.end(),
-            [](const HsrResult& a, const HsrResult& b) { return a.stats.total_s < b.stats.total_s; });
+            [](const HsrResult& a, const HsrResult& b) {
+              return a.stats.total_s < b.stats.total_s;
+            });
   return std::move(runs[1]);
 }
 

@@ -78,7 +78,8 @@ int main() {
       u64 steps = 0, hits = 0;
       const auto t0 = std::chrono::steady_clock::now();
       for (const Seg2& q : queries) hits += fn(q, steps);
-      const double el = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      const double el =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       const Counters c = work::snapshot();
       const u64 total_steps = steps ? steps : c[Op::OracleStep];
       t.row({Table::num(static_cast<long long>(env.size())), name,

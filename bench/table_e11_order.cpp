@@ -25,7 +25,8 @@ int main() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     const HsrResult r = hidden_surface_removal(terr, {.algorithm = Algorithm::Parallel});
     const double n = static_cast<double>(terr.edge_count());
-    t.row({Table::num(static_cast<long long>(g)), Table::num(static_cast<long long>(terr.edge_count())),
+    t.row({Table::num(static_cast<long long>(g)),
+           Table::num(static_cast<long long>(terr.edge_count())),
            ms(order_s), Table::num(order_s * 1e9 / (n * log2d(n)), 2),
            Table::num(static_cast<double>(d.constraints) / n, 2),
            Table::num(order_s / r.stats.total_s, 3)});

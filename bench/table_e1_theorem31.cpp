@@ -26,7 +26,8 @@ int main() {
     const double k = static_cast<double>(r.stats.k_pieces);
     const double ops = static_cast<double>(r.stats.work.total());
     const double l = log2d(n);
-    t.row({Table::num(static_cast<long long>(g)), Table::num(static_cast<long long>(r.stats.n_edges)),
+    t.row({Table::num(static_cast<long long>(g)),
+           Table::num(static_cast<long long>(r.stats.n_edges)),
            Table::num(static_cast<long long>(r.stats.k_pieces)), ms(r.stats.order_s),
            ms(r.stats.phase1_s), ms(r.stats.phase2_s), ms(r.stats.total_s),
            Table::num(static_cast<long long>(ops)), Table::num(ops / ((n + k) * l * l * l), 5),

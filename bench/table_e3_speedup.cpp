@@ -10,7 +10,8 @@ int main() {
   using namespace thsr;
   using namespace thsr::bench;
   print_header("E3", "Theorem 3.1 (/p)",
-               "wall clock falls with p at fixed counted work; work identical across p and backend");
+               "wall clock falls with p at fixed counted work; work identical across p and "
+               "backend");
 
   const int hw = par::max_threads();
   const int pmax = std::max(4, hw);  // always tabulate the 4-thread row

@@ -44,7 +44,8 @@ Envelope merge_envelopes_parallel(const Envelope& front, const Envelope& back,
   const QY hi = qmax(front.pieces().back().y1, back.pieces().back().y1);
   cuts.push_back(lo);
   for (int s = 1; s < strips; ++s) {
-    const std::size_t idx = big.size() * static_cast<std::size_t>(s) / static_cast<std::size_t>(strips);
+    const std::size_t idx =
+        big.size() * static_cast<std::size_t>(s) / static_cast<std::size_t>(strips);
     const QY c = big.piece(idx).y0;
     if (c > cuts.back() && c < hi) cuts.push_back(c);
   }

@@ -7,7 +7,8 @@ std::string i128_to_string(i128 v) {
   if (v == 0) return "0";
   const bool neg = v < 0;
   // Careful with INT128_MIN; inputs here are far smaller, but stay defensive.
-  unsigned __int128 u = neg ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
+  unsigned __int128 u =
+      neg ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
   std::string s;
   while (u > 0) {
     s.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));

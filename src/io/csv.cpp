@@ -51,7 +51,9 @@ void Table::maybe_write_csv(const std::string& name) const {
   if (!flag || std::string(flag) != "1") return;
   std::ofstream os(name + ".csv");
   const auto line = [&](const std::vector<std::string>& cells) {
-    for (std::size_t c = 0; c < cells.size(); ++c) os << cells[c] << (c + 1 < cells.size() ? "," : "");
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << (c + 1 < cells.size() ? "," : "");
+    }
     os << '\n';
   };
   line(headers_);

@@ -27,7 +27,9 @@ std::vector<T> inclusive_scan(std::span<const T> xs, T identity, Op op) {
   const int p = max_threads();
   if (n < 4096 || p <= 1) {
     T acc = identity;
-    for (i64 i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = acc = op(acc, xs[static_cast<std::size_t>(i)]);
+    for (i64 i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] = acc = op(acc, xs[static_cast<std::size_t>(i)]);
+    }
     return out;
   }
   const i64 nblocks = std::min<i64>(4 * p, n);
@@ -48,7 +50,9 @@ std::vector<T> inclusive_scan(std::span<const T> xs, T identity, Op op) {
   parallel_for(nblocks, [&](i64 b) {
     T acc = block_off[static_cast<std::size_t>(b)];
     const i64 lo = b * bsz, hi = std::min(n, lo + bsz);
-    for (i64 i = lo; i < hi; ++i) out[static_cast<std::size_t>(i)] = acc = op(acc, xs[static_cast<std::size_t>(i)]);
+    for (i64 i = lo; i < hi; ++i) {
+      out[static_cast<std::size_t>(i)] = acc = op(acc, xs[static_cast<std::size_t>(i)]);
+    }
   }, 1);
   return out;
 }

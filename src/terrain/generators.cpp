@@ -112,7 +112,8 @@ HeightField heights(const GenOptions& opt, i64 A) {
         };
         u32 i0 = pick(11, g), i1 = std::min<u32>(g - 1, i0 + 1 + pick(13, g / 4 + 1));
         u32 j0 = pick(17, g), j1 = std::min<u32>(g - 1, j0 + 1 + pick(19, g / 4 + 1));
-        const i64 hb = 1 + static_cast<i64>(unit_rand(opt.seed, b, 23) * static_cast<double>(A - 1));
+        const i64 hb =
+            1 + static_cast<i64>(unit_rand(opt.seed, b, 23) * static_cast<double>(A - 1));
         for (u32 i = i0; i <= i1; ++i)
           for (u32 j = j0; j <= j1; ++j) f.at(i, j) = std::max(f.at(i, j), hb);
       }
