@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/engine.hpp"
 #include "parallel/backend.hpp"
 
 namespace {
@@ -199,6 +200,42 @@ void run_case(CaseMap& cases, const std::string& name, Family fam, u32 grid,
   cases[name]["phase1_pieces"] = r.stats.phase1_pieces;
 }
 
+/// Engine-reuse workloads: gate the warm-solve path (counters must stay
+/// bit-identical to one-shot runs, and a warm solve must allocate zero new
+/// arena blocks) and the batch path. threads=1 because *block* counts —
+/// unlike the work counters — depend on how allocations land on threads.
+void run_engine_cases(CaseMap& cases) {
+  const Terrain terr = bench::make(Family::Fbm, 48);
+  HsrEngine eng;
+  eng.prepare(terr);
+  const HsrOptions opt{.algorithm = Algorithm::Parallel, .threads = 1};
+  (void)eng.solve(opt);  // cold solve sizes the arena
+  const u64 blocks_cold = eng.arena_blocks();
+  const HsrResult warm = eng.solve(opt);
+  const std::string name = "engine/fbm/g48/warm";
+  cases[name] = to_counter_map(warm.stats.work);
+  cases[name]["k_pieces"] = warm.stats.k_pieces;
+  cases[name]["treap_nodes"] = warm.stats.treap_nodes;
+  cases[name]["phase1_pieces"] = warm.stats.phase1_pieces;
+  cases[name]["arena_new_blocks"] = eng.arena_blocks() - blocks_cold;
+
+  // Batch fan-out: one case summing the per-item counters (deterministic).
+  HsrEngine batch_eng;
+  batch_eng.prepare(terr);
+  const std::vector<HsrOptions> opts{{.algorithm = Algorithm::Parallel},
+                                     {.algorithm = Algorithm::Sequential},
+                                     {.algorithm = Algorithm::Parallel,
+                                      .phase2_oracle = Phase2Oracle::MaterializedScan}};
+  Counters total;
+  u64 k = 0;
+  for (const HsrResult& r : batch_eng.solve_batch(opts)) {
+    total += r.stats.work;
+    k += r.stats.k_pieces;
+  }
+  cases["engine/fbm/g48/batch3"] = to_counter_map(total);
+  cases["engine/fbm/g48/batch3"]["k_pieces"] = k;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,6 +277,9 @@ int main(int argc, char** argv) {
     run_case(cases, "e12/terrace/g" + std::to_string(g) + "/materialized", Family::TerraceBack,
              g, Phase2Oracle::MaterializedScan);
   }
+
+  // Engine reuse: the warm-solve and batch paths.
+  run_engine_cases(cases);
 
   write_json(cases, out_path);
   std::cout << "wrote " << cases.size() << " cases to " << out_path << "\n";

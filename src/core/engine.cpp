@@ -1,0 +1,186 @@
+#include "core/engine.hpp"
+
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/detail.hpp"
+#include "parallel/backend.hpp"
+#include "support/check.hpp"
+
+namespace thsr {
+
+struct HsrEngine::Impl {
+  detail::HsrContext ctx;
+  detail::Workspace ws;       ///< solve() workspace; batch items use the pool
+  Counters prepare_work;      ///< ops counted while building ctx
+  double order_s{0};
+  bool prepared{false};
+
+  // Workspace pool for in-flight batch items: at most one per concurrently
+  // running item, retained across batches so their arenas warm up too.
+  std::mutex pool_mu;
+  std::vector<std::unique_ptr<detail::Workspace>> pool;
+  std::vector<detail::Workspace*> pool_free;
+
+  detail::Workspace* acquire_ws() {
+    std::lock_guard<std::mutex> lk(pool_mu);
+    if (!pool_free.empty()) {
+      detail::Workspace* ws = pool_free.back();
+      pool_free.pop_back();
+      return ws;
+    }
+    pool.push_back(std::make_unique<detail::Workspace>());
+    return pool.back().get();
+  }
+
+  void release_ws(detail::Workspace* ws) {
+    std::lock_guard<std::mutex> lk(pool_mu);
+    pool_free.push_back(ws);
+  }
+};
+
+namespace {
+
+/// Build the PCT on first need. Only the Parallel algorithm reads it; it
+/// is a pure function of the edge count (no counted ops), so laziness is
+/// invisible to results and counters. Must run before solves fan out —
+/// concurrent batch items share the context read-only.
+void ensure_pct(detail::HsrContext& ctx, const HsrOptions& opt) {
+  const auto n = static_cast<u32>(ctx.terrain->edge_count());
+  if (opt.algorithm == Algorithm::Parallel && !ctx.pct && n > 0) ctx.pct.emplace(n);
+}
+
+/// One solve against a prepared context. `thread_scope` selects per-thread
+/// counter attribution (exact when the caller runs the solve entirely on
+/// one thread, i.e. inside a par::SerialRegion) over the global snapshot a
+/// single-threaded driver uses.
+HsrResult solve_on(detail::HsrContext& ctx, detail::Workspace& ws, const Counters& prepare_work,
+                   double order_s, const HsrOptions& opt, bool thread_scope) {
+  detail::Timer total;
+  // Inside the timer: when this solve is the one that triggers the lazy
+  // PCT build, its cost must show up in total_s (solve_batch pre-builds
+  // before fan-out, making this a no-op there).
+  ensure_pct(ctx, opt);
+  HsrStats stats;
+  stats.order_s = order_s;
+  stats.n_edges = ctx.terrain->edge_count();
+  stats.n_slivers = ctx.n_slivers;
+  stats.depth_constraints = ctx.order.constraints;
+
+  ws.arena.reset();  // recycle every block from the previous solve
+  const Counters before = thread_scope ? work::local_snapshot() : work::snapshot();
+
+  VisibilityMap map{0};
+  switch (opt.algorithm) {
+    case Algorithm::Reference: map = detail::run_reference(ctx, ws, stats); break;
+    case Algorithm::Sequential: map = detail::run_sequential(ctx, ws, stats); break;
+    case Algorithm::Parallel:
+      map = detail::run_parallel(ctx, ws, stats, opt.collect_layer_stats, opt.phase2_oracle);
+      break;
+  }
+
+  Counters delta = thread_scope ? work::local_snapshot() : work::snapshot();
+  delta -= before;
+  stats.work = prepare_work;
+  stats.work += delta;
+  stats.k_pieces = map.k_pieces();
+  stats.k_crossings = map.k_crossings();
+  stats.total_s = order_s + total.seconds();
+  return HsrResult{std::move(map), std::move(stats)};
+}
+
+/// Recursive binary fan-out of [lo, hi): distributes items on every
+/// backend (OpenMP tasks, pool stealing) without tying the split to a
+/// schedule chunk size.
+template <typename F>
+void fan_out(std::size_t lo, std::size_t hi, F& item) {
+  if (hi - lo <= 1) {
+    if (lo < hi) item(lo);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  par::fork_join([&] { fan_out(lo, mid, item); }, [&] { fan_out(mid, hi, item); });
+}
+
+}  // namespace
+
+HsrEngine::HsrEngine() : impl_(std::make_unique<Impl>()) {}
+HsrEngine::~HsrEngine() = default;
+HsrEngine::HsrEngine(HsrEngine&&) noexcept = default;
+HsrEngine& HsrEngine::operator=(HsrEngine&&) noexcept = default;
+
+void HsrEngine::prepare(const Terrain& t) {
+  Impl& im = *impl_;
+  work::reset();
+  const work::Scope scope;
+  detail::Timer order_timer;
+  im.ctx = detail::make_context(t);
+  im.order_s = order_timer.seconds();
+  im.prepare_work = scope.delta();
+  // Evict the previous terrain's derived state; keep the raw memory.
+  im.ws.arena.reset();
+  im.ws.env.clear();
+  im.ws.inherited.clear();
+  im.prepared = true;
+}
+
+bool HsrEngine::prepared() const noexcept { return impl_->prepared; }
+
+const Terrain* HsrEngine::terrain() const noexcept {
+  return impl_->prepared ? impl_->ctx.terrain : nullptr;
+}
+
+HsrResult HsrEngine::solve(const HsrOptions& opt) {
+  Impl& im = *impl_;
+  THSR_CHECK(im.prepared);
+  const par::ScopedConfig cfg(opt.threads, opt.backend);
+  // Contract: an explicitly requested backend must exist in this build —
+  // silently running on a different executor would defeat the request.
+  if (opt.backend) THSR_CHECK(cfg.backend_applied());
+  work::reset();
+  return solve_on(im.ctx, im.ws, im.prepare_work, im.order_s, opt, /*thread_scope=*/false);
+}
+
+std::vector<HsrResult> HsrEngine::solve_batch(std::span<const HsrOptions> opts) {
+  Impl& im = *impl_;
+  THSR_CHECK(im.prepared);
+  for (const HsrOptions& o : opts) {
+    THSR_CHECK(o.threads == 0 && !o.backend);  // per-item executors are not representable
+    ensure_pct(im.ctx, o);                     // before items share ctx read-only
+  }
+
+  std::vector<std::optional<HsrResult>> tmp(opts.size());
+  auto item = [&](std::size_t i) {
+    const par::SerialRegion serial;  // whole item on this worker: exact attribution
+    struct Lease {                   // exception-safe return to the pool
+      Impl& im;
+      detail::Workspace* ws{im.acquire_ws()};
+      ~Lease() { im.release_ws(ws); }
+    } lease{im};
+    tmp[i] = solve_on(im.ctx, *lease.ws, im.prepare_work, im.order_s, opts[i],
+                      /*thread_scope=*/true);
+  };
+  if (opts.size() <= 1 || par::max_threads() <= 1 || par::in_parallel()) {
+    for (std::size_t i = 0; i < opts.size(); ++i) item(i);
+  } else {
+    par::run_root_task([&] { fan_out(0, opts.size(), item); });
+  }
+
+  std::vector<HsrResult> out;
+  out.reserve(opts.size());
+  for (auto& r : tmp) out.push_back(std::move(*r));
+  return out;
+}
+
+void HsrEngine::recycle(HsrResult&& r) {
+  impl_->ws.map_storage = std::move(r.map).release();
+}
+
+u64 HsrEngine::arena_nodes() const noexcept { return impl_->ws.arena.node_count(); }
+
+u64 HsrEngine::arena_blocks() const noexcept { return impl_->ws.arena.allocated(); }
+
+double HsrEngine::prepare_seconds() const noexcept { return impl_->order_s; }
+
+}  // namespace thsr

@@ -1,0 +1,97 @@
+#pragma once
+/// \file engine.hpp
+/// Session-oriented hidden-surface-removal engine.
+///
+/// `hidden_surface_removal()` answers one question about one terrain and
+/// throws everything away. A production workload asks many questions about
+/// the *same* terrain — different algorithms, oracles, backends, repeated
+/// queries under load — and the pipeline has a natural prefix (segment
+/// extraction, sliver classification, depth order, PCT skeleton) that is
+/// independent of which algorithm runs. HsrEngine splits the two:
+///
+///   HsrEngine engine;
+///   engine.prepare(terrain);              // preprocess once
+///   HsrResult a = engine.solve({.algorithm = Algorithm::Parallel});
+///   HsrResult b = engine.solve({.algorithm = Algorithm::Sequential});
+///   auto batch  = engine.solve_batch(options);   // fan out over the backend
+///
+/// Beyond caching the preprocessing, the engine owns the working-set
+/// memory: the persistent-node arena is rewound (not freed) between
+/// solves, and phase scratch plus output-piece buffers are recycled. A
+/// warm solve whose predecessor was at least as large allocates zero new
+/// arena blocks once the retained footprint covers the backend's
+/// schedule — deterministically so in serial runs (threads=1), where
+/// allocations always land on the same thread (DESIGN.md section 1.2 for
+/// the full lifecycle).
+///
+/// Determinism contract: a warm solve is bit-identical — visibility map
+/// *and* work counters — to a one-shot `hidden_surface_removal()` with the
+/// same options (tests/test_engine.cpp). Reuse changes wall clock only.
+///
+/// Threading: an engine instance is not thread-safe; drive it from one
+/// thread at a time (solve_batch parallelizes internally). The prepared
+/// terrain must outlive every solve against it.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/hsr.hpp"
+
+namespace thsr {
+
+class HsrEngine {
+ public:
+  HsrEngine();
+  ~HsrEngine();
+  HsrEngine(HsrEngine&&) noexcept;
+  HsrEngine& operator=(HsrEngine&&) noexcept;
+  HsrEngine(const HsrEngine&) = delete;
+  HsrEngine& operator=(const HsrEngine&) = delete;
+
+  /// Build and cache the solve-independent context for `t`: segments,
+  /// sliver flags, and the depth order. The PCT skeleton is cached too but
+  /// built lazily inside the first Parallel solve (and timed there), so
+  /// sequential/reference-only sessions never pay for it. Fully evicts any
+  /// previously prepared terrain; retained scratch memory is recycled, not
+  /// freed.
+  void prepare(const Terrain& t);
+
+  bool prepared() const noexcept;
+  const Terrain* terrain() const noexcept;
+
+  /// Run one algorithm against the prepared context. Requires prepare().
+  /// `opt.threads` / `opt.backend` apply for the duration of the solve and
+  /// are restored afterwards (exception-safe).
+  HsrResult solve(const HsrOptions& opt = {});
+
+  /// Solve every option set against the prepared context, fanning the
+  /// independent solves out over the current fork-join backend (each item
+  /// runs serially on its worker). Results — maps and work counters — are
+  /// bit-identical to a sequential loop of solve() calls. Per-item
+  /// `threads` / `backend` overrides are not representable in a shared
+  /// parallel region and must be left at their defaults.
+  std::vector<HsrResult> solve_batch(std::span<const HsrOptions> opts);
+
+  /// Donate a retired result's piece buffers back to the engine so the
+  /// next solve reuses their capacity.
+  void recycle(HsrResult&& r);
+
+  /// Persistent nodes ever allocated by this engine's arena (across
+  /// solves; the persistence-cost metric).
+  u64 arena_nodes() const noexcept;
+
+  /// Arena blocks ever heap-allocated. Constant across warm solves that
+  /// fit in the retained footprint — the allocation-churn gauge used by
+  /// tests/test_engine.cpp and bench/micro_engine_reuse.
+  u64 arena_blocks() const noexcept;
+
+  /// Wall-clock seconds the last prepare() took (amortized across solves).
+  double prepare_seconds() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace thsr

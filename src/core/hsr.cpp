@@ -1,6 +1,7 @@
 #include "core/hsr.hpp"
 
 #include "core/detail.hpp"
+#include "core/engine.hpp"
 #include "parallel/backend.hpp"
 #include "support/check.hpp"
 
@@ -32,6 +33,8 @@ HsrContext make_context(const Terrain& t) {
     }
   }
   ctx.order = compute_depth_order(t);
+  // ctx.pct stays disengaged: the engine builds it lazily on the first
+  // Parallel solve, so sequential/reference-only sessions never pay for it.
   return ctx;
 }
 
@@ -62,43 +65,14 @@ void emit_visible(u32 edge, const QY& a, const QY& b, int initial,
 
 }  // namespace detail
 
+// Back-compat shim: a one-shot call is a session of one — prepare a
+// temporary engine and run a single solve. Bit-identical (map and work
+// counters) to the pre-engine implementation; thread/backend overrides are
+// restored exception-safely by the engine's RAII guard.
 HsrResult hidden_surface_removal(const Terrain& t, const HsrOptions& opt) {
-  const int prev_threads = par::max_threads();
-  if (opt.threads > 0) par::set_threads(opt.threads);
-  const par::Backend prev_backend = par::backend();
-  // Contract: an explicitly requested backend must exist in this build —
-  // silently running on a different executor would defeat the request.
-  if (opt.backend) THSR_CHECK(par::set_backend(*opt.backend));
-
-  detail::Timer total;
-  HsrStats stats;
-  work::reset();
-  const work::Scope scope;
-
-  detail::Timer order_timer;
-  detail::HsrContext ctx = detail::make_context(t);
-  stats.order_s = order_timer.seconds();
-  stats.n_edges = t.edge_count();
-  stats.n_slivers = ctx.n_slivers;
-  stats.depth_constraints = ctx.order.constraints;
-
-  VisibilityMap map{t.edge_count()};
-  switch (opt.algorithm) {
-    case Algorithm::Reference: map = detail::run_reference(ctx, stats); break;
-    case Algorithm::Sequential: map = detail::run_sequential(ctx, stats); break;
-    case Algorithm::Parallel:
-      map = detail::run_parallel(ctx, stats, opt.collect_layer_stats, opt.phase2_oracle);
-      break;
-  }
-
-  stats.k_pieces = map.k_pieces();
-  stats.k_crossings = map.k_crossings();
-  stats.total_s = total.seconds();
-  stats.work = scope.delta();
-
-  if (opt.backend) par::set_backend(prev_backend);
-  if (opt.threads > 0) par::set_threads(prev_threads);
-  return HsrResult{std::move(map), std::move(stats)};
+  HsrEngine engine;
+  engine.prepare(t);
+  return engine.solve(opt);
 }
 
 }  // namespace thsr

@@ -27,6 +27,11 @@
 ///   thsr::HsrResult r = thsr::hidden_surface_removal(t);
 ///   std::cout << r.stats.k_pieces << " visible pieces\n";
 /// \endcode
+///
+/// `hidden_surface_removal()` is a one-shot shim over the session engine;
+/// when solving the same terrain repeatedly, prepare a `thsr::HsrEngine`
+/// (core/engine.hpp) once and reuse it — warm solves skip preprocessing
+/// and recycle all working memory, with bit-identical results.
 
 #include <optional>
 
@@ -90,6 +95,8 @@ struct HsrResult {
 };
 
 /// Solve hidden-surface removal for `t` viewed from x = +infinity.
+/// One-shot convenience over HsrEngine (core/engine.hpp): prepares a
+/// temporary engine and runs a single solve.
 HsrResult hidden_surface_removal(const Terrain& t, const HsrOptions& opt = {});
 
 }  // namespace thsr

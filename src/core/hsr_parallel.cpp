@@ -21,6 +21,10 @@
 /// per splice (measured in benches E1/E4/E8); span: O(log n) layers with
 /// polylog per layer given enough workers (Theorem 3.1 modulo the oracle
 /// substitution of DESIGN.md section 1).
+///
+/// All scratch lives in the engine-owned Workspace (serial paths) or in
+/// per-thread PhaseScratch instances (parallel paths), so a warm engine
+/// solve reuses the previous solve's buffers and arena blocks.
 
 #include <atomic>
 
@@ -38,24 +42,28 @@ namespace {
 // once per node and queried by linear scans (the ablation path).
 ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
                           const HsrContext& ctx, std::atomic<u64>& splices,
-                          Phase2Oracle oracle) {
+                          Phase2Oracle oracle, PhaseScratch& ps_scratch) {
   if (pi.empty()) return P;
   const auto ps = pi.pieces();
   const auto m = static_cast<i64>(ps.size());
 
   // Stage 1: oracle walks against the immutable inherited version.
-  std::vector<PieceData> flat;
+  std::vector<PieceData>& flat = ps_scratch.flat;
+  flat.clear();
   if (oracle == Phase2Oracle::MaterializedScan) {
     flat.reserve(ptreap::count(P));
     ptreap::collect(P, flat);
   }
-  std::vector<std::vector<TransitionEvent>> events(ps.size());
-  std::vector<int> initial(ps.size());
+  if (ps_scratch.merge_events.size() < ps.size()) ps_scratch.merge_events.resize(ps.size());
+  std::span<std::vector<TransitionEvent>> events{ps_scratch.merge_events};
+  ps_scratch.merge_initial.resize(ps.size());
+  std::span<int> initial{ps_scratch.merge_initial};
   par::parallel_for(
       m,
       [&](i64 j) {
         const auto ju = static_cast<std::size_t>(j);
         const EnvPiece& p = ps[ju];
+        events[ju].clear();
         initial[ju] =
             oracle == Phase2Oracle::MaterializedScan
                 ? walk_transitions_scan(flat, ctx.segs[p.edge], p.y0, p.y1, ctx.segs, events[ju])
@@ -68,7 +76,8 @@ ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
   ptreap::Ref cur = P;
   bool open = false;
   QY run0;
-  std::vector<PieceData> content;
+  std::vector<PieceData>& content = ps_scratch.merge_content;
+  content.clear();
   u64 n_splices = 0;
   const auto close = [&](const QY& end) {
     if (!open) return;
@@ -116,7 +125,7 @@ ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
 }
 
 void process_leaf(u32 e, ptreap::Ref P, const HsrContext& ctx, VisibilityMap& map,
-                  std::vector<TransitionEvent>& scratch, Phase2Oracle oracle) {
+                  PhaseScratch& scratch, Phase2Oracle oracle) {
   const Terrain& t = *ctx.terrain;
   if (ctx.is_sliver[e]) {
     const SliverInfo sv = t.sliver(e);
@@ -136,33 +145,36 @@ void process_leaf(u32 e, ptreap::Ref P, const HsrContext& ctx, VisibilityMap& ma
   }
   const Seg2& s = ctx.segs[e];
   const QY a = QY::of(s.u0), b = QY::of(s.u1);
-  scratch.clear();
+  std::vector<TransitionEvent>& events = scratch.events;
+  events.clear();
   int initial;
   if (oracle == Phase2Oracle::MaterializedScan) {
-    std::vector<PieceData> flat;
+    std::vector<PieceData>& flat = scratch.flat;
+    flat.clear();
     flat.reserve(ptreap::count(P));
     ptreap::collect(P, flat);
-    initial = walk_transitions_scan(flat, s, a, b, ctx.segs, scratch);
+    initial = walk_transitions_scan(flat, s, a, b, ctx.segs, events);
   } else {
-    initial = walk_transitions(P, s, a, b, ctx.segs, scratch);
+    initial = walk_transitions(P, s, a, b, ctx.segs, events);
   }
-  emit_visible(e, a, b, initial, scratch, map);
+  emit_visible(e, a, b, initial, events, map);
 }
 
 }  // namespace
 
-VisibilityMap run_parallel(const HsrContext& ctx, HsrStats& stats, bool layer_stats,
-                           Phase2Oracle oracle) {
+VisibilityMap run_parallel(const HsrContext& ctx, Workspace& ws, HsrStats& stats,
+                           bool layer_stats, Phase2Oracle oracle) {
   const Terrain& t = *ctx.terrain;
   const auto n = static_cast<u32>(t.edge_count());
-  VisibilityMap map{t.edge_count()};
+  VisibilityMap map{t.edge_count(), std::move(ws.map_storage)};
   if (n == 0) return map;
 
-  const SeparatorTree pct(n);
+  const SeparatorTree& pct = *ctx.pct;
 
   // ------------------------------------------------------------------ phase 1
   Timer t1;
-  std::vector<Envelope> env(pct.size());
+  std::vector<Envelope>& env = ws.env;
+  env.assign(pct.size(), Envelope{});
   for (u32 lvl = pct.levels(); lvl-- > 0;) {
     const auto nodes = pct.level(lvl);
     const auto work_node = [&](u32 v, bool inner_parallel) {
@@ -191,7 +203,8 @@ VisibilityMap run_parallel(const HsrContext& ctx, HsrStats& stats, bool layer_st
   for (const auto& e : env) stats.phase1_pieces += e.size();
   // Envelopes of right children and the root are never consumed by phase 2.
   {
-    std::vector<unsigned char> used(pct.size(), 0);
+    std::vector<unsigned char>& used = ws.used;
+    used.assign(pct.size(), 0);
     for (u32 v = 0; v < pct.size(); ++v) {
       if (!pct.node(v).leaf()) used[pct.node(v).left] = 1;
     }
@@ -203,17 +216,26 @@ VisibilityMap run_parallel(const HsrContext& ctx, HsrStats& stats, bool layer_st
 
   // ------------------------------------------------------------------ phase 2
   Timer t2;
-  PArena arena;
-  std::vector<ptreap::Ref> inherited(pct.size(), nullptr);
+  PArena& arena = ws.arena;
+  const u64 arena_base = arena.node_count();
+  std::vector<ptreap::Ref>& inherited = ws.inherited;
+  inherited.assign(pct.size(), nullptr);
   inherited[pct.root()] = ptreap::make_floor(arena);
 
+  // Layer counters: under a SerialRegion (a solve_batch item) the whole
+  // solve runs on this thread, and the thread-local snapshot keeps other
+  // concurrently running batch items out of our per-layer deltas.
+  const bool local_counters = par::serial_forced();
+  const auto counters_now = [local_counters] {
+    return local_counters ? work::local_snapshot() : work::snapshot();
+  };
   for (u32 lvl = 0; lvl < pct.levels(); ++lvl) {
     const auto nodes = pct.level(lvl);
     const u64 nodes_before = arena.node_count();
-    const Counters work_before = layer_stats ? work::snapshot() : Counters{};
+    const Counters work_before = layer_stats ? counters_now() : Counters{};
     std::atomic<u64> splices{0};
 
-    const auto work_node = [&](u32 v, std::vector<TransitionEvent>& scratch) {
+    const auto work_node = [&](u32 v, PhaseScratch& scratch) {
       const PctNode& nd = pct.node(v);
       ptreap::Ref P = inherited[v];
       THSR_DCHECK(P != nullptr);
@@ -222,24 +244,23 @@ VisibilityMap run_parallel(const HsrContext& ctx, HsrStats& stats, bool layer_st
         return;
       }
       inherited[nd.left] = P;
-      inherited[nd.right] = merge_profile(arena, P, env[nd.left], ctx, splices, oracle);
+      inherited[nd.right] = merge_profile(arena, P, env[nd.left], ctx, splices, oracle, scratch);
     };
 
     if (static_cast<i64>(nodes.size()) < 2 * par::max_threads()) {
-      std::vector<TransitionEvent> scratch;
-      for (u32 v : nodes) work_node(v, scratch);  // inner stage-1 parallelism
+      for (u32 v : nodes) work_node(v, ws.scratch);  // inner stage-1 parallelism
     } else {
       par::parallel_for(
           static_cast<i64>(nodes.size()),
           [&](i64 i) {
-            thread_local std::vector<TransitionEvent> scratch;
+            thread_local PhaseScratch scratch;
             work_node(nodes[static_cast<std::size_t>(i)], scratch);
           },
           1);
     }
 
     if (layer_stats) {
-      const Counters now = work::snapshot();
+      const Counters now = counters_now();
       LayerStats ls;
       ls.layer = lvl;
       ls.nodes = static_cast<u32>(nodes.size());
@@ -256,7 +277,7 @@ VisibilityMap run_parallel(const HsrContext& ctx, HsrStats& stats, bool layer_st
     }
   }
   stats.phase2_s = t2.seconds();
-  stats.treap_nodes = arena.node_count();
+  stats.treap_nodes = arena.node_count() - arena_base;
   return map;
 }
 

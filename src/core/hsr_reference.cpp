@@ -104,9 +104,9 @@ SliverVisibility reference_sliver(const Envelope& env, const SliverInfo& sv,
 
 }  // namespace
 
-VisibilityMap run_reference(const HsrContext& ctx, HsrStats& stats) {
+VisibilityMap run_reference(const HsrContext& ctx, Workspace& ws, HsrStats& stats) {
   const Terrain& t = *ctx.terrain;
-  VisibilityMap map{t.edge_count()};
+  VisibilityMap map{t.edge_count(), std::move(ws.map_storage)};
   Envelope profile;  // envelope of all non-sliver edges processed so far
 
   Timer phase;

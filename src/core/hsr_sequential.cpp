@@ -11,14 +11,15 @@
 
 namespace thsr::detail {
 
-VisibilityMap run_sequential(const HsrContext& ctx, HsrStats& stats) {
+VisibilityMap run_sequential(const HsrContext& ctx, Workspace& ws, HsrStats& stats) {
   const Terrain& t = *ctx.terrain;
-  VisibilityMap map{t.edge_count()};
-  PArena arena;
+  VisibilityMap map{t.edge_count(), std::move(ws.map_storage)};
+  PArena& arena = ws.arena;
+  const u64 arena_base = arena.node_count();
   ptreap::Ref profile = ptreap::make_floor(arena);
 
   Timer phase;
-  std::vector<TransitionEvent> events;
+  std::vector<TransitionEvent>& events = ws.scratch.events;
   for (const u32 e : ctx.order.order) {
     if (ctx.is_sliver[e]) {
       const SliverInfo sv = t.sliver(e);
@@ -61,7 +62,7 @@ VisibilityMap run_sequential(const HsrContext& ctx, HsrStats& stats) {
     if (state == +1) splice(run0, b);
   }
   stats.phase2_s = phase.seconds();
-  stats.treap_nodes = arena.node_count();
+  stats.treap_nodes = arena.node_count() - arena_base;
   return map;
 }
 

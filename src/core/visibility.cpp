@@ -2,6 +2,15 @@
 
 namespace thsr {
 
+VisibilityMap::VisibilityMap(std::size_t n_edges, Storage&& recycled)
+    : pieces_(std::move(recycled.pieces)), slivers_(std::move(recycled.slivers)) {
+  if (pieces_.size() > n_edges) pieces_.resize(n_edges);
+  for (auto& v : pieces_) v.clear();  // capacity retained
+  pieces_.resize(n_edges);
+  slivers_.clear();
+  slivers_.resize(n_edges);
+}
+
 u64 VisibilityMap::k_pieces() const noexcept {
   u64 k = 0;
   for (const auto& v : pieces_) k += v.size();

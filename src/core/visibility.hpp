@@ -47,7 +47,22 @@ struct SliverVisibility {
 
 class VisibilityMap {
  public:
+  /// Piece/sliver buffers detached from a retired map (see release()). A
+  /// session engine keeps Storage between solves so the per-edge vectors'
+  /// capacity is recycled instead of reallocated every run.
+  struct Storage {
+    std::vector<std::vector<VisiblePiece>> pieces;
+    std::vector<std::optional<SliverVisibility>> slivers;
+  };
+
   explicit VisibilityMap(std::size_t n_edges) : pieces_(n_edges), slivers_(n_edges) {}
+
+  /// Build an empty map for `n_edges`, adopting `recycled` buffers: inner
+  /// vectors are cleared but keep their capacity.
+  VisibilityMap(std::size_t n_edges, Storage&& recycled);
+
+  /// Detach the buffers for reuse; the map is left empty (size 0).
+  Storage release() && { return Storage{std::move(pieces_), std::move(slivers_)}; }
 
   /// Append a visible piece of `edge`. Pieces of one edge must be appended
   /// in increasing y (each edge is produced by exactly one walk/task).

@@ -89,7 +89,13 @@ std::vector<Backend> available_backends() {
   return out;
 }
 
-int max_threads() noexcept {
+namespace {
+thread_local int t_serial_depth = 0;
+
+// max_threads() without the SerialRegion mask: the globally configured
+// worker count. ScopedConfig snapshots this — snapshotting the masked
+// value from inside a SerialRegion would "restore" the global count to 1.
+int configured_threads() noexcept {
   const int p = g_threads.load(std::memory_order_relaxed);
   if (p > 0) return p;
 #ifdef THSR_HAVE_OPENMP
@@ -97,6 +103,32 @@ int max_threads() noexcept {
 #endif
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
+
+}  // namespace
+
+bool serial_forced() noexcept { return t_serial_depth > 0; }
+
+SerialRegion::SerialRegion() noexcept { ++t_serial_depth; }
+SerialRegion::~SerialRegion() { --t_serial_depth; }
+
+ScopedConfig::ScopedConfig(int threads, std::optional<Backend> b) noexcept
+    : prev_threads_(configured_threads()), prev_backend_(backend()) {
+  if (threads > 0) {
+    set_threads(threads);
+    restore_threads_ = true;
+  }
+  if (b) {
+    backend_ok_ = set_backend(*b);
+    restore_backend_ = backend_ok_;
+  }
+}
+
+ScopedConfig::~ScopedConfig() {
+  if (restore_backend_) set_backend(prev_backend_);
+  if (restore_threads_) set_threads(prev_threads_);
+}
+
+int max_threads() noexcept { return serial_forced() ? 1 : configured_threads(); }
 
 void set_threads(int p) noexcept {
   p = std::max(1, p);

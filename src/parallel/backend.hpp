@@ -69,6 +69,46 @@ int max_threads() noexcept;
 /// Set the worker count for subsequent parallel regions (1 = serial).
 void set_threads(int p) noexcept;
 
+/// RAII scope that applies an optional worker count (`threads > 0`) and an
+/// optional backend, and restores the previous configuration on destruction
+/// — including when the scope unwinds via an exception, so a failing solve
+/// can never leak a modified global executor configuration.
+class ScopedConfig {
+ public:
+  ScopedConfig(int threads, std::optional<Backend> b) noexcept;
+  ~ScopedConfig();
+  ScopedConfig(const ScopedConfig&) = delete;
+  ScopedConfig& operator=(const ScopedConfig&) = delete;
+
+  /// False when a requested backend is unavailable in this build (nothing
+  /// was changed); callers decide whether that is an error.
+  bool backend_applied() const noexcept { return backend_ok_; }
+
+ private:
+  int prev_threads_{0};
+  Backend prev_backend_{Backend::Serial};
+  bool restore_threads_{false};
+  bool restore_backend_{false};
+  bool backend_ok_{true};
+};
+
+/// True while the calling thread is inside a SerialRegion: every parallel
+/// primitive invoked on this thread runs inline.
+bool serial_forced() noexcept;
+
+/// RAII scope that forces all parallel primitives on the calling thread
+/// (and everything it runs) to execute inline until destruction. Batch
+/// drivers fan whole solves out as single tasks under this scope, so each
+/// task stays on its worker — keeping per-task work-counter attribution
+/// exact while tasks themselves still spread across the backend. Nests.
+class SerialRegion {
+ public:
+  SerialRegion() noexcept;
+  ~SerialRegion();
+  SerialRegion(const SerialRegion&) = delete;
+  SerialRegion& operator=(const SerialRegion&) = delete;
+};
+
 /// True when called from inside a parallel region.
 bool in_parallel() noexcept;
 
@@ -186,7 +226,7 @@ void run_root_task(F&& f) {
 /// Must be called (transitively) from run_root_task for parallelism to occur.
 template <typename A, typename B>
 void fork_join(A&& a, B&& b, bool parallel_ok = true) {
-  if (parallel_ok) {
+  if (parallel_ok && !serial_forced()) {
     switch (backend()) {
       case Backend::OpenMP:
 #ifdef THSR_HAVE_OPENMP

@@ -40,6 +40,8 @@ Bucket& local_bucket() {
 
 void count(Op op, u64 n) noexcept { local_bucket().c.v[static_cast<std::size_t>(op)] += n; }
 
+Counters local_snapshot() noexcept { return local_bucket().c; }
+
 Counters snapshot() noexcept {
   std::lock_guard<std::mutex> lk(mu());
   Counters total;

@@ -46,6 +46,11 @@ struct Counters {
     for (std::size_t i = 0; i < v.size(); ++i) v[i] += o.v[i];
     return *this;
   }
+  Counters& operator-=(const Counters& o) noexcept {
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  friend bool operator==(const Counters& a, const Counters& b) noexcept { return a.v == b.v; }
 };
 
 namespace work {
@@ -55,6 +60,12 @@ void count(Op op, u64 n = 1) noexcept;
 
 /// Sum all threads' counters accumulated since the last reset.
 Counters snapshot() noexcept;
+
+/// The calling thread's counters only. Deltas of this are exact for work
+/// that ran entirely on the calling thread (e.g. a batched solve inside a
+/// par::SerialRegion), and are immune to ops counted concurrently by other
+/// threads — which global snapshot() deltas are not.
+Counters local_snapshot() noexcept;
 
 /// Zero all threads' counters.
 void reset() noexcept;

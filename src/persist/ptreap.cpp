@@ -54,10 +54,16 @@ PArena::ThreadSlot& PArena::local_slot() {
 PNode* PArena::alloc() {
   ThreadSlot& s = local_slot();
   if (s.used == Block::kNodes) {
-    auto* b = new Block();
+    Block* b = nullptr;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      blocks_.push_back(b);
+      if (!free_.empty()) {
+        b = free_.back();
+        free_.pop_back();
+      } else {
+        b = new Block();
+        blocks_.push_back(b);
+      }
     }
     s.current = b;
     s.used = 0;
@@ -67,11 +73,28 @@ PNode* PArena::alloc() {
   return &s.current->mem[s.used++];
 }
 
+void PArena::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Rewind every slot: partially filled blocks go back on the free list
+  // with everything else, and the owning threads re-acquire blocks on
+  // their next alloc(). Callers guarantee no alloc() runs concurrently.
+  for (ThreadSlot* s : slots_) {
+    s->current = nullptr;
+    s->used = Block::kNodes;
+  }
+  free_ = blocks_;
+}
+
 u64 PArena::node_count() const noexcept {
   std::lock_guard<std::mutex> lk(mu_);
   u64 total = 0;
   for (const ThreadSlot* s : slots_) total += s->allocated.load(std::memory_order_relaxed);
   return total;
+}
+
+u64 PArena::allocated() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return blocks_.size();
 }
 
 // ---------------------------------------------------------------------------

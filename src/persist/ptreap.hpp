@@ -65,6 +65,11 @@ struct PNode {
 /// Bump allocator for persistent nodes. Thread-safe: each thread fills its
 /// own blocks; the arena owns all memory until destruction (versions are
 /// only valid while their arena lives).
+///
+/// An arena is reusable across runs: reset() retains every block it ever
+/// allocated and rewinds the bump pointers, so a rebuild that fits in the
+/// prior footprint performs zero heap allocations (allocated() is the churn
+/// metric a warm HsrEngine::solve is gated on).
 class PArena {
  public:
   PArena() = default;
@@ -74,8 +79,20 @@ class PArena {
 
   PNode* alloc();
 
-  /// Total nodes ever allocated (persistence cost metric, bench table_f3).
+  /// Recycle the arena: every version ever allocated from it becomes
+  /// invalid, all blocks are retained on a free list, and subsequent
+  /// alloc() calls refill them before touching the heap. Must not run
+  /// concurrently with alloc() (callers separate runs with a join).
+  void reset();
+
+  /// Total nodes ever allocated, across resets (persistence cost metric,
+  /// bench table_f3).
   u64 node_count() const noexcept;
+
+  /// Total blocks ever heap-allocated. Stays constant across a reset()
+  /// followed by a rebuild that fits in the retained blocks — the
+  /// allocation-churn metric of tests/test_treap.cpp and bench_ci.
+  u64 allocated() const noexcept;
 
  private:
   struct Block;
@@ -83,7 +100,8 @@ class PArena {
   ThreadSlot& local_slot();
 
   mutable std::mutex mu_;
-  std::vector<Block*> blocks_;
+  std::vector<Block*> blocks_;  ///< every block ever allocated (owned)
+  std::vector<Block*> free_;    ///< retained blocks awaiting reuse
   std::vector<ThreadSlot*> slots_;
   const u64 id_{next_id()};  ///< unique per arena, never recycled
 

@@ -184,6 +184,37 @@ TEST(PTreap, MaterializeDropsFloorAndCoalesces) {
   EXPECT_EQ(e.piece(0).edge, 1u);
 }
 
+TEST(PTreap, ArenaResetRecyclesBlocksAcrossRebuilds) {
+  PArena arena;
+  const auto segs = wide_segments(17, 4);
+  const auto build = [&] {
+    ptreap::Ref t = ptreap::make_floor(arena);
+    for (int i = 0; i < 512; ++i) {
+      const PieceData p{QY::of(-900 + 3 * i), QY::of(-900 + 3 * i + 2), static_cast<u32>(i % 4)};
+      t = ptreap::replace_range(arena, t, p.y0, p.y1, std::span(&p, 1), segs);
+    }
+    return t;
+  };
+
+  const ptreap::Ref cold = build();
+  ptreap::validate(cold, segs);
+  const u64 blocks = arena.allocated();
+  const u64 nodes = arena.node_count();
+  EXPECT_GT(blocks, 0u);
+
+  // Reset, then rebuild the identical treap: the same node demand must be
+  // served entirely from retained blocks — zero new heap blocks.
+  arena.reset();
+  const ptreap::Ref warm = build();
+  ptreap::validate(warm, segs);
+  EXPECT_EQ(arena.allocated(), blocks);
+  EXPECT_EQ(arena.node_count(), nodes * 2);  // node_count accumulates across resets
+
+  std::vector<PieceData> pieces;
+  ptreap::collect(warm, pieces);
+  EXPECT_EQ(pieces.size(), 512u * 2 + 1);
+}
+
 TEST(PTreap, NodeCountGrowsLogarithmicallyPerSplice) {
   PArena arena;
   const auto segs = wide_segments(13, 4);
