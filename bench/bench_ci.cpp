@@ -31,6 +31,7 @@
 #include "bench_util.hpp"
 #include "core/engine.hpp"
 #include "parallel/backend.hpp"
+#include "shard/sharded_engine.hpp"
 
 namespace {
 
@@ -236,6 +237,39 @@ void run_engine_cases(CaseMap& cases) {
   cases["engine/fbm/g48/batch3"]["k_pieces"] = k;
 }
 
+/// Sharded-solve workloads (DESIGN.md section 1.7). Besides the baseline
+/// comparison, these carry a built-in gate: the sum of per-slab counted
+/// work (which is what the stitched result reports) must stay within the
+/// plan's edge-duplication bound of the monolithic counted work — the
+/// decomposition may only pay for replicated edges, never change the
+/// asymptotics (slack: shard::kShardWorkSlack, shared with
+/// tests/test_shard.cpp). Returns the number of gate failures.
+int run_shard_cases(CaseMap& cases) {
+  const Terrain terr = bench::make(Family::Fbm, 48);
+  const HsrResult mono = hidden_surface_removal(
+      terr, {.algorithm = Algorithm::Parallel, .threads = 2});
+  int failures = 0;
+  for (const u32 S : {2u, 8u}) {
+    shard::ShardedEngine eng;
+    eng.prepare(terr, S);
+    const HsrResult r = eng.solve({.algorithm = Algorithm::Parallel, .threads = 2});
+    const std::string name = "shard/fbm/g48/s" + std::to_string(S);
+    cases[name] = to_counter_map(r.stats.work);
+    cases[name]["k_pieces"] = r.stats.k_pieces;
+    cases[name]["slab_edges_total"] = eng.plan().slab_edges_total;
+    const double bound = eng.plan().duplication_factor() * shard::kShardWorkSlack;
+    const auto sharded_total = static_cast<double>(r.stats.work.total());
+    const auto mono_total = static_cast<double>(mono.stats.work.total());
+    if (sharded_total > bound * mono_total) {
+      std::cout << "FAIL  " << name << ": sharded counted work " << r.stats.work.total()
+                << " exceeds duplication bound " << Table::num(bound, 3) << " x monolithic "
+                << mono.stats.work.total() << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,10 +315,18 @@ int main(int argc, char** argv) {
   // Engine reuse: the warm-solve and batch paths.
   run_engine_cases(cases);
 
+  // Sharded solves: baseline cases + the duplication-bound work gate.
+  const int shard_failures = run_shard_cases(cases);
+
   write_json(cases, out_path);
   std::cout << "wrote " << cases.size() << " cases to " << out_path << "\n";
+  if (shard_failures) {
+    // Reported now, but keep going: a single run should surface both this
+    // and any baseline regressions below.
+    std::cout << shard_failures << " sharding duplication-bound violation(s)\n";
+  }
 
-  if (check_path.empty()) return 0;
+  if (check_path.empty()) return shard_failures ? 1 : 0;
   std::ifstream is(check_path);
   if (!is) {
     std::cerr << "bench_ci: cannot read baseline " << check_path << "\n";
@@ -301,9 +343,9 @@ int main(int argc, char** argv) {
   const int failures = check(*baseline, cases, tolerance);
   if (failures) {
     std::cout << failures << " counter regression(s) beyond +" << tolerance << "%\n";
-    return 1;
+  } else {
+    std::cout << "counters within +" << tolerance << "% of baseline (" << baseline->size()
+              << " cases)\n";
   }
-  std::cout << "counters within +" << tolerance << "% of baseline (" << baseline->size()
-            << " cases)\n";
-  return 0;
+  return (failures || shard_failures) ? 1 : 0;
 }

@@ -1,0 +1,80 @@
+/// F4 — y-slab sharding (DESIGN.md section 1.7): how data decomposition
+/// trades edge duplication for smaller per-slab subproblems, across slab
+/// count S and worker count p. The stitched map is invariant (the
+/// equivalence contract), so the interesting columns are the duplication
+/// factor, the *counted* work ratio against the monolithic solve (S=1) —
+/// which bench_ci gates against the duplication bound — and wall clock:
+/// per-slab depth orders and profiles shrink with S, so counted work can
+/// even fall below monolithic while duplication grows.
+
+#include "bench_util.hpp"
+#include "parallel/backend.hpp"
+#include "shard/sharded_engine.hpp"
+
+namespace {
+
+using namespace thsr;
+
+/// Median-of-3 wall clock for one prepared engine + option set (counters
+/// are deterministic; only wall clock varies).
+HsrResult solve_median3(shard::ShardedEngine& engine, const HsrOptions& opt) {
+  std::vector<HsrResult> runs;
+  runs.reserve(3);
+  for (int i = 0; i < 3; ++i) runs.push_back(engine.solve(opt));
+  std::sort(runs.begin(), runs.end(), [](const HsrResult& a, const HsrResult& b) {
+    return a.stats.total_s < b.stats.total_s;
+  });
+  return std::move(runs[1]);
+}
+
+}  // namespace
+
+int main() {
+  using namespace thsr::bench;
+  print_header("F4", "y-slab sharding (DESIGN.md 1.7)",
+               "stitched output invariant; counted work within the duplication bound of "
+               "monolithic; wall clock falls with S*p until duplication wins");
+
+  const int hw = par::max_threads();
+  const int pmax = std::max(4, hw);
+  std::vector<u32> grids{64};
+  if (large()) grids.push_back(128);
+
+  Table t({"grid", "n", "S", "dup", "prepare_ms", "p", "solve_ms", "speedup", "work_ops",
+           "work_ratio", "k_pieces"});
+  for (const u32 g : grids) {
+    const Terrain terr = make(Family::Fbm, g);
+    double mono_work = 0, base_s = 0;
+    for (const u32 S : {1u, 2u, 4u, 8u, 16u}) {
+      shard::ShardedEngine engine;
+      engine.prepare(terr, S);
+      for (int p = 1; p <= pmax; p *= 2) {
+        const HsrResult r =
+            solve_median3(engine, {.algorithm = Algorithm::Parallel, .threads = p});
+        const double solve_s = r.stats.total_s - r.stats.order_s;
+        const auto work = static_cast<double>(r.stats.work.total());
+        if (S == 1 && p == 1) {
+          mono_work = work;
+          base_s = solve_s;
+        }
+        t.row({Table::num(static_cast<long long>(g)),
+               Table::num(static_cast<long long>(r.stats.n_edges)),
+               Table::num(static_cast<long long>(S)),
+               Table::num(engine.plan().duplication_factor(), 3),
+               Table::num(engine.prepare_seconds() * 1e3, 2),
+               Table::num(static_cast<long long>(p)), ms(solve_s),
+               Table::num(base_s / solve_s, 2),
+               Table::num(static_cast<long long>(r.stats.work.total())),
+               Table::num(work / mono_work, 3),
+               Table::num(static_cast<long long>(r.stats.k_pieces))});
+      }
+    }
+  }
+  t.print_markdown(std::cout);
+  t.maybe_write_csv("table_f4_sharding");
+  std::cout << "\nnote: work_ops is machine/backend/p-independent (per-slab solves count on "
+               "their own\nthreads and sum deterministically); work_ratio is gated in CI "
+               "against the duplication\nbound (bench_ci shard/* cases). hardware exposes "
+            << hw << " workers.\n";
+  return 0;
+}

@@ -3,28 +3,51 @@
 /// realized exactly by rotating the ground lattice with Pythagorean-triple
 /// rotations (integer coordinates, so the exact predicates keep working),
 /// then viewing along -x as usual. Prints a per-azimuth visibility table
-/// and writes one SVG per direction.
+/// and writes one SVG per direction. Runs on synthetic relief by default,
+/// or on a real DEM via the ESRI ASCII-grid loader.
 ///
 ///   ./gis_viewshed [grid=40] [seed=11]
+///   ./gis_viewshed --asc input.asc [z_scale=1.0]
 
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 
 #include "core/hsr.hpp"
 #include "io/csv.hpp"
 #include "io/svg.hpp"
+#include "terrain/asc_io.hpp"
 #include "terrain/generators.hpp"
 
 int main(int argc, char** argv) {
   using namespace thsr;
 
-  GenOptions gen;
-  gen.family = Family::Fbm;
-  gen.grid = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 40;
-  gen.seed = argc > 2 ? static_cast<u64>(std::atoll(argv[2])) : 11;
-  gen.amplitude = 6 * gen.grid;
-  const Terrain base = make_terrain(gen);
+  Terrain base;
+  if (argc > 1 && std::string(argv[1]) == "--asc" && argc <= 2) {
+    std::cerr << "usage: gis_viewshed --asc input.asc [z_scale]\n";
+    return 2;
+  }
+  if (argc > 2 && std::string(argv[1]) == "--asc") {
+    AscTerrainOptions opt;
+    if (argc > 3) {
+      opt.z_scale = std::atof(argv[3]);
+      if (!(opt.z_scale > 0)) {
+        std::cerr << "usage: gis_viewshed --asc input.asc [z_scale>0]\n";
+        return 2;
+      }
+    }
+    base = load_asc(argv[2], opt);
+    std::cout << "loaded DEM " << argv[2] << "\n";
+  } else {
+    GenOptions gen;
+    gen.family = Family::Fbm;
+    gen.grid = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 40;
+    gen.seed = argc > 2 ? static_cast<u64>(std::atoll(argv[2])) : 11;
+    gen.amplitude = 6 * gen.grid;
+    base = make_terrain(gen);
+  }
 
   // Exact rational azimuths: (a, b) rotations, angle = atan2(b, a).
   struct View {
@@ -52,7 +75,15 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   for (const View& v : views) {
-    const Terrain t = base.rotate_ground(v.a, v.b);
+    Terrain t;
+    try {
+      t = base.rotate_ground(v.a, v.b);
+    } catch (const std::invalid_argument&) {
+      // A large lattice (e.g. a full-size DEM) can leave no headroom for
+      // the rotation's scale factor; skip that azimuth rather than abort.
+      std::cout << "skipping azimuth " << v.name << ": rotated coordinates out of range\n";
+      continue;
+    }
     const HsrResult r = hidden_surface_removal(t, {.algorithm = Algorithm::Parallel});
     const double deg = std::atan2(static_cast<double>(v.b), static_cast<double>(v.a)) * 180.0 /
                        3.14159265358979;

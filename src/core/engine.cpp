@@ -90,19 +90,6 @@ HsrResult solve_on(detail::HsrContext& ctx, detail::Workspace& ws, const Counter
   return HsrResult{std::move(map), std::move(stats)};
 }
 
-/// Recursive binary fan-out of [lo, hi): distributes items on every
-/// backend (OpenMP tasks, pool stealing) without tying the split to a
-/// schedule chunk size.
-template <typename F>
-void fan_out(std::size_t lo, std::size_t hi, F& item) {
-  if (hi - lo <= 1) {
-    if (lo < hi) item(lo);
-    return;
-  }
-  const std::size_t mid = lo + (hi - lo) / 2;
-  par::fork_join([&] { fan_out(lo, mid, item); }, [&] { fan_out(mid, hi, item); });
-}
-
 }  // namespace
 
 HsrEngine::HsrEngine() : impl_(std::make_unique<Impl>()) {}
@@ -142,6 +129,19 @@ HsrResult HsrEngine::solve(const HsrOptions& opt) {
   return solve_on(im.ctx, im.ws, im.prepare_work, im.order_s, opt, /*thread_scope=*/false);
 }
 
+HsrResult HsrEngine::solve_scoped(const HsrOptions& opt) {
+  Impl& im = *impl_;
+  THSR_CHECK(im.prepared);
+  THSR_CHECK(opt.threads == 0 && !opt.backend);  // the caller owns the executor config
+  const par::SerialRegion serial;  // whole solve on this thread: exact attribution
+  struct Lease {                   // exception-safe return to the pool
+    Impl& im;
+    detail::Workspace* ws{im.acquire_ws()};
+    ~Lease() { im.release_ws(ws); }
+  } lease{im};
+  return solve_on(im.ctx, *lease.ws, im.prepare_work, im.order_s, opt, /*thread_scope=*/true);
+}
+
 std::vector<HsrResult> HsrEngine::solve_batch(std::span<const HsrOptions> opts) {
   Impl& im = *impl_;
   THSR_CHECK(im.prepared);
@@ -151,21 +151,7 @@ std::vector<HsrResult> HsrEngine::solve_batch(std::span<const HsrOptions> opts) 
   }
 
   std::vector<std::optional<HsrResult>> tmp(opts.size());
-  auto item = [&](std::size_t i) {
-    const par::SerialRegion serial;  // whole item on this worker: exact attribution
-    struct Lease {                   // exception-safe return to the pool
-      Impl& im;
-      detail::Workspace* ws{im.acquire_ws()};
-      ~Lease() { im.release_ws(ws); }
-    } lease{im};
-    tmp[i] = solve_on(im.ctx, *lease.ws, im.prepare_work, im.order_s, opts[i],
-                      /*thread_scope=*/true);
-  };
-  if (opts.size() <= 1 || par::max_threads() <= 1 || par::in_parallel()) {
-    for (std::size_t i = 0; i < opts.size(); ++i) item(i);
-  } else {
-    par::run_root_task([&] { fan_out(0, opts.size(), item); });
-  }
+  par::fan_items(opts.size(), [&](std::size_t i) { tmp[i] = solve_scoped(opts[i]); });
 
   std::vector<HsrResult> out;
   out.reserve(opts.size());

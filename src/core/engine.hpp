@@ -73,6 +73,17 @@ class HsrEngine {
   /// parallel region and must be left at their defaults.
   std::vector<HsrResult> solve_batch(std::span<const HsrOptions> opts);
 
+  /// The per-item primitive behind solve_batch: run one solve entirely on
+  /// the calling thread (a par::SerialRegion), inside whatever parallel
+  /// region — and under whatever executor configuration — the caller has
+  /// already established. No global counter reset; work is attributed via
+  /// the calling thread's counters, so concurrent solve_scoped calls on
+  /// *different* engines report exact per-call Counters. This is how a
+  /// multi-engine driver (shard::ShardedEngine) fans one solve per engine
+  /// over par::fan_items. `opt.threads` / `opt.backend` must be unset.
+  /// The result is bit-identical to solve(opt).
+  HsrResult solve_scoped(const HsrOptions& opt = {});
+
   /// Donate a retired result's piece buffers back to the engine so the
   /// next solve reuses their capacity.
   void recycle(HsrResult&& r);

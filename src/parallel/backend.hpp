@@ -222,6 +222,34 @@ void run_root_task(F&& f) {
   f();
 }
 
+namespace detail {
+
+/// Recursive binary split of [lo, hi): distributes items on every backend
+/// (OpenMP tasks, pool stealing) without tying the split to a schedule
+/// chunk size.
+template <typename F>
+void fan_items_tree(std::size_t lo, std::size_t hi, F& item);
+
+}  // namespace detail
+
+/// Fan `n` *independent whole items* out over the current backend as a
+/// balanced binary task tree, one task per item — the dispatch shape of
+/// batch drivers (HsrEngine::solve_batch, shard::ShardedEngine) whose
+/// items are entire solves, typically run under a SerialRegion so each
+/// item stays on its worker for exact per-item counter attribution.
+/// Unlike parallel_for there is no chunking: n is small and items are
+/// coarse. Opens its own root region; degrades to a plain loop when n <= 1,
+/// a single worker is configured, or the caller is already inside a
+/// parallel region (nested regions would deadlock the pool's root entry).
+template <typename F>
+void fan_items(std::size_t n, F&& f) {
+  if (n <= 1 || max_threads() <= 1 || in_parallel()) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  run_root_task([&] { detail::fan_items_tree(0, n, f); });
+}
+
 /// Execute a and b, possibly concurrently; returns after both complete.
 /// Must be called (transitively) from run_root_task for parallelism to occur.
 template <typename A, typename B>
@@ -256,5 +284,19 @@ void fork_join(A&& a, B&& b, bool parallel_ok = true) {
   a();
   b();
 }
+
+namespace detail {
+
+template <typename F>
+void fan_items_tree(std::size_t lo, std::size_t hi, F& item) {
+  if (hi - lo <= 1) {
+    if (lo < hi) item(lo);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  fork_join([&] { fan_items_tree(lo, mid, item); }, [&] { fan_items_tree(mid, hi, item); });
+}
+
+}  // namespace detail
 
 }  // namespace thsr::par

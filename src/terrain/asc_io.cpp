@@ -1,0 +1,237 @@
+#include "terrain/asc_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace thsr {
+namespace {
+
+inline constexpr u32 kNoVert = 0xffffffffu;  ///< lattice site with no data vertex
+
+/// Hard cap on ncols*nrows before the sample buffer is allocated: keeps a
+/// hostile or corrupt header (two 1e9 dims = an 8 EB reserve) inside the
+/// documented runtime_error contract instead of bad_alloc/OOM. 10^8
+/// doubles is ~800 MB — far beyond anything the lattice budget can use.
+inline constexpr std::size_t kMaxAscSamples = 100'000'000;
+
+[[noreturn]] void fail(const std::string& what, std::size_t lineno = 0) {
+  throw std::runtime_error(lineno ? "load_asc: " + what + " at line " + std::to_string(lineno)
+                                  : "load_asc: " + what);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+AscGrid load_asc_grid(std::istream& is) {
+  AscGrid g;
+  bool saw_ncols = false, saw_nrows = false, saw_x = false, saw_y = false, saw_cell = false;
+  bool x_centered = false, y_centered = false;
+  std::size_t lineno = 0;
+  std::string line;
+  std::string pending;  // first data line (the one that ended the header)
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank line
+    const std::string k = lower(key);
+    const bool is_key = !k.empty() && (std::isalpha(static_cast<unsigned char>(k[0])) != 0);
+    if (!is_key) {
+      pending = line;  // header over: this line already holds data
+      break;
+    }
+    double v = 0;
+    if (!(ls >> v)) fail("header key '" + key + "' has no numeric value", lineno);
+    const auto set = [&](double& slot, bool& seen) {
+      if (seen) fail("duplicate header key '" + key + "'", lineno);
+      slot = v;
+      seen = true;
+    };
+    if (k == "ncols" || k == "nrows") {
+      if (v < 1 || v != std::floor(v) || v > 1e9) fail("bad " + k, lineno);
+      double tmp = 0;
+      bool& seen = (k == "ncols") ? saw_ncols : saw_nrows;
+      set(tmp, seen);
+      (k == "ncols" ? g.ncols : g.nrows) = static_cast<u32>(v);
+    } else if (k == "xllcorner" || k == "xllcenter") {
+      set(g.xll, saw_x);
+      x_centered = (k == "xllcenter");
+    } else if (k == "yllcorner" || k == "yllcenter") {
+      set(g.yll, saw_y);
+      y_centered = (k == "yllcenter");
+    } else if (k == "cellsize") {
+      if (v <= 0) fail("cellsize must be positive", lineno);
+      set(g.cellsize, saw_cell);
+    } else if (k == "nodata_value") {
+      if (g.nodata) fail("duplicate header key '" + key + "'", lineno);
+      g.nodata = v;
+    } else {
+      fail("unknown header key '" + key + "'", lineno);
+    }
+  }
+  if (!saw_ncols || !saw_nrows) fail("header is missing ncols/nrows");
+  if (!saw_x || !saw_y || !saw_cell) fail("header is missing the origin or cellsize");
+  if (x_centered != y_centered) fail("header mixes llcorner and llcenter origin keys");
+  g.cell_centered = x_centered;
+
+  const std::size_t want = static_cast<std::size_t>(g.ncols) * g.nrows;
+  if (want > kMaxAscSamples) {
+    fail("grid declares " + std::to_string(want) + " samples, over the " +
+         std::to_string(kMaxAscSamples) + " loader cap");
+  }
+  g.values.reserve(want);
+  const auto consume = [&](std::istream& vs) {
+    double v;
+    while (g.values.size() < want && vs >> v) g.values.push_back(v);
+    if (g.values.size() < want && !vs.eof()) {
+      fail("non-numeric height sample after " + std::to_string(g.values.size()) + " values");
+    }
+  };
+  {
+    std::istringstream first(pending);
+    consume(first);
+  }
+  consume(is);
+  if (g.values.size() < want) {
+    fail("expected " + std::to_string(want) + " height samples, file ends after " +
+         std::to_string(g.values.size()));
+  }
+  return g;
+}
+
+AscGrid load_asc_grid(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_asc: cannot open " + path);
+  return load_asc_grid(is);
+}
+
+void save_asc_grid(const AscGrid& g, std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "ncols " << g.ncols << "\nnrows " << g.nrows << "\n"
+     << (g.cell_centered ? "xllcenter " : "xllcorner ") << g.xll << "\n"
+     << (g.cell_centered ? "yllcenter " : "yllcorner ") << g.yll << "\ncellsize " << g.cellsize
+     << "\n";
+  if (g.nodata) os << "NODATA_value " << *g.nodata << "\n";
+  for (u32 r = 0; r < g.nrows; ++r) {
+    for (u32 c = 0; c < g.ncols; ++c) os << g.at(r, c) << (c + 1 < g.ncols ? ' ' : '\n');
+  }
+}
+
+void save_asc_grid(const AscGrid& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_asc: cannot open " + path);
+  save_asc_grid(g, os);
+}
+
+Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt) {
+  if (g.ncols < 2 || g.nrows < 2) fail("grid too small to triangulate (need >= 2x2)");
+
+  // Stride so the sampled lattice fits the coordinate budget.
+  u32 stride = opt.stride;
+  if (stride == 0) {
+    stride = 1;
+    while ((std::max(g.ncols, g.nrows) - 1) / stride + 1 > kMaxAscGrid) ++stride;
+  }
+  const u32 rows = (g.nrows - 1) / stride + 1, cols = (g.ncols - 1) / stride + 1;
+  if (rows < 2 || cols < 2) {
+    fail("stride " + std::to_string(stride) + " leaves fewer than 2 rows/cols");
+  }
+  if (std::max(rows, cols) > kMaxAscGrid) {
+    fail("grid exceeds " + std::to_string(kMaxAscGrid) +
+         " samples per side after stride; raise AscTerrainOptions::stride");
+  }
+
+  // Height quantization: offset (normalize_z), scale, round — and reject
+  // anything the exact predicates could not carry.
+  double z0 = 0;
+  if (opt.normalize_z) {
+    z0 = std::numeric_limits<double>::infinity();
+    for (u32 r = 0; r < g.nrows; ++r) {
+      for (u32 c = 0; c < g.ncols; ++c) {
+        if (!g.is_nodata(r, c)) z0 = std::min(z0, g.at(r, c));
+      }
+    }
+    if (!std::isfinite(z0)) fail("grid has no data cells");
+  }
+  const auto quantize = [&](double v) {
+    const double s = (v - z0) * opt.z_scale;
+    if (!std::isfinite(s) || std::abs(s) > static_cast<double>(kMaxCoord)) {
+      fail("height " + std::to_string(v) + " leaves the coordinate range after scaling; "
+           "lower AscTerrainOptions::z_scale");
+    }
+    return static_cast<i64>(std::llround(s));
+  };
+
+  // Sheared lattice, generators' convention (DESIGN.md section 1.5): the
+  // shear constant clears the x-extent so distinct columns occupy disjoint
+  // y-ranges and no edge gets dy == 0. Row 0 (north) lands at maximal x,
+  // nearest the viewer.
+  const u32 G = std::max(rows, cols);
+  const i64 K = opt.shear ? i64{8} * G + 16 : 0;
+  std::vector<u32> vid(static_cast<std::size_t>(rows) * cols, kNoVert);
+  std::vector<Vertex3> verts;
+  std::vector<Triangle> tris;
+  const auto sampled = [&](u32 rr, u32 cc) {  // sampled-grid -> source-grid
+    return std::pair<u32, u32>{rr * stride, cc * stride};
+  };
+  for (u32 rr = 0; rr < rows; ++rr) {
+    for (u32 cc = 0; cc < cols; ++cc) {
+      const auto [r, c] = sampled(rr, cc);
+      if (g.is_nodata(r, c)) continue;
+      const i64 x = i64{8} * (rows - 1 - rr), yj = i64{8} * cc;
+      vid[static_cast<std::size_t>(rr) * cols + cc] = static_cast<u32>(verts.size());
+      verts.push_back(Vertex3{x, opt.shear ? K * yj + x : yj, quantize(g.at(r, c))});
+    }
+  }
+  const auto v_at = [&](u32 rr, u32 cc) { return vid[static_cast<std::size_t>(rr) * cols + cc]; };
+  for (u32 rr = 0; rr + 1 < rows; ++rr) {
+    for (u32 cc = 0; cc + 1 < cols; ++cc) {
+      const u32 v00 = v_at(rr, cc), v10 = v_at(rr + 1, cc);
+      const u32 v01 = v_at(rr, cc + 1), v11 = v_at(rr + 1, cc + 1);
+      if (v00 == kNoVert || v10 == kNoVert || v01 == kNoVert || v11 == kNoVert) continue;
+      if ((rr + cc) % 2 == 0) {  // generators' alternating diagonal
+        tris.push_back({v00, v10, v11});
+        tris.push_back({v00, v11, v01});
+      } else {
+        tris.push_back({v00, v10, v01});
+        tris.push_back({v10, v11, v01});
+      }
+    }
+  }
+  if (tris.empty()) fail("no NODATA-free cell to triangulate");
+
+  // Drop vertices only NODATA neighbours referenced (isolated data cells).
+  std::vector<u32> used(verts.size(), 0);
+  for (const Triangle& tr : tris) used[tr.a] = used[tr.b] = used[tr.c] = 1;
+  std::vector<u32> remap(verts.size(), 0);
+  std::vector<Vertex3> packed;
+  packed.reserve(verts.size());
+  for (u32 i = 0; i < verts.size(); ++i) {
+    if (used[i]) {
+      remap[i] = static_cast<u32>(packed.size());
+      packed.push_back(verts[i]);
+    }
+  }
+  for (Triangle& tr : tris) tr = {remap[tr.a], remap[tr.b], remap[tr.c]};
+  return Terrain::from_triangles(std::move(packed), std::move(tris));
+}
+
+Terrain load_asc(std::istream& is, const AscTerrainOptions& opt) {
+  return terrain_from_asc(load_asc_grid(is), opt);
+}
+
+Terrain load_asc(const std::string& path, const AscTerrainOptions& opt) {
+  return terrain_from_asc(load_asc_grid(path), opt);
+}
+
+}  // namespace thsr

@@ -1,0 +1,79 @@
+#pragma once
+/// \file asc_io.hpp
+/// ESRI ASCII-grid (.asc) DEM IO: the bridge from real GIS rasters to the
+/// integer-lattice terrains the exact predicates require.
+///
+/// An .asc file is a header (ncols/nrows, llcorner or llcenter origin,
+/// cellsize, optional NODATA_value) followed by nrows x ncols height
+/// samples, row 0 = northernmost. `load_asc_grid` parses that verbatim
+/// into an AscGrid; `terrain_from_asc` resamples it onto the same sheared
+/// integer lattice the synthetic generators use (DESIGN.md section 1.5):
+/// ground spacing 8, y' = K*(8*col) + x so no edge is parallel to the
+/// viewing axis yet every coordinate stays integral. Heights are
+/// quantized like OBJ input (offset, scale, round — DESIGN.md section 5);
+/// NODATA cells become holes (no triangles), which the terrain model and
+/// all three algorithms handle as a smaller edge set.
+///
+/// Lattice budget: |coordinate| <= 2^21 caps the sheared lattice at
+/// kMaxAscGrid (180) samples per side — the same bound as the generators.
+/// Larger rasters are downsampled by a row/column stride (automatic by
+/// default), trading resolution for exactness, not the other way around.
+///
+/// All loaders throw std::runtime_error on malformed input (missing or
+/// duplicate header keys, short or non-numeric data, out-of-range
+/// heights), with the offending line in the message.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "terrain/terrain.hpp"
+
+namespace thsr {
+
+/// Largest per-side sample count `terrain_from_asc` accepts after
+/// striding: keeps the sheared lattice within kMaxCoord (section 5).
+inline constexpr u32 kMaxAscGrid = 180;
+
+/// A parsed ESRI ASCII grid, exactly as the file states it.
+struct AscGrid {
+  u32 ncols{0}, nrows{0};
+  double xll{0}, yll{0};        ///< lower-left origin (corner or center)
+  bool cell_centered{false};    ///< true when the file used xllcenter/yllcenter
+  double cellsize{1.0};
+  std::optional<double> nodata; ///< NODATA_value when the header declares one
+  std::vector<double> values;   ///< row-major, row 0 = northernmost
+
+  double at(u32 row, u32 col) const { return values[static_cast<std::size_t>(row) * ncols + col]; }
+  bool is_nodata(u32 row, u32 col) const { return nodata && at(row, col) == *nodata; }
+};
+
+AscGrid load_asc_grid(std::istream& is);
+AscGrid load_asc_grid(const std::string& path);
+
+/// Write `g` back out as an .asc file (the exact shape load_asc_grid
+/// parses; round-trips bit-exactly for finite values).
+void save_asc_grid(const AscGrid& g, std::ostream& os);
+void save_asc_grid(const AscGrid& g, const std::string& path);
+
+struct AscTerrainOptions {
+  double z_scale{1.0};   ///< multiply (offset) heights before rounding to the lattice
+  bool normalize_z{true};///< subtract the minimum data height first (keeps z small)
+  bool shear{true};      ///< generators' general-position shear; false = axis-aligned
+                         ///< lattice whose cross-rows are degenerate sliver edges
+  u32 stride{0};         ///< sample every stride-th row/col; 0 = smallest stride
+                         ///< that fits kMaxAscGrid
+};
+
+/// Resample `g` onto the integer lattice and triangulate the data cells
+/// (cells with all four corners NODATA-free; alternating diagonals like
+/// the generators). The northernmost row lands nearest the viewer
+/// (x = +infinity); use Terrain::rotate_ground for other azimuths.
+Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt = {});
+
+/// Parse + resample in one step.
+Terrain load_asc(std::istream& is, const AscTerrainOptions& opt = {});
+Terrain load_asc(const std::string& path, const AscTerrainOptions& opt = {});
+
+}  // namespace thsr

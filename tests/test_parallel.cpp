@@ -135,6 +135,24 @@ TEST_P(ParallelP, DeepForkJoinRecursion) {
   EXPECT_EQ(total, 4096);
 }
 
+TEST_P(ParallelP, FanItemsRunsEveryItemOnce) {
+  for (const std::size_t n : {0ul, 1ul, 2ul, 7ul, 64ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    par::fan_items(n, [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(ParallelP, FanItemsDegradesInsideParallelRegions) {
+  // Batch dispatch from inside an existing region must fall back to the
+  // sequential loop instead of opening a nested root region.
+  std::atomic<i64> total{0};
+  par::run_root_task([&] {
+    par::fan_items(16, [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, ParallelP,
     ::testing::Combine(::testing::ValuesIn(par::available_backends()), ::testing::Values(1, 2, 4)),
