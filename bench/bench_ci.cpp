@@ -31,6 +31,7 @@
 #include "bench_util.hpp"
 #include "core/engine.hpp"
 #include "parallel/backend.hpp"
+#include "raster/raster.hpp"
 #include "shard/sharded_engine.hpp"
 
 namespace {
@@ -270,6 +271,48 @@ int run_shard_cases(CaseMap& cases) {
   return failures;
 }
 
+/// Raster workloads (DESIGN.md section 1.8). The scan-converter's
+/// crossing and hit-sample counts are exact functions of the solved map
+/// and the sampling lattice — machine/backend/p-independent like the
+/// work counters — so they gate against the baseline. A built-in hard
+/// gate mirrors test_raster: the sharded (per-slab, no-stitch)
+/// rasterization must reproduce the monolithic image bit-for-bit.
+/// Returns the number of gate failures.
+int run_raster_cases(CaseMap& cases) {
+  const Terrain terr = bench::make(Family::Fbm, 48);
+  HsrEngine engine;
+  engine.prepare(terr);
+  const HsrResult solved = engine.solve({.algorithm = Algorithm::Parallel, .threads = 2});
+  shard::ShardedEngine sharded;
+  sharded.prepare(terr, 4);
+  const auto per_slab = sharded.solve_slabs({.algorithm = Algorithm::Parallel, .threads = 2});
+  std::vector<const VisibilityMap*> slab_maps(per_slab.size(), nullptr);
+  for (std::size_t i = 0; i < per_slab.size(); ++i) {
+    if (per_slab[i]) slab_maps[i] = &per_slab[i]->map;
+  }
+  int failures = 0;
+  for (const u32 s : {1u, 2u}) {
+    raster::RasterOptions opt;
+    opt.width = 160;
+    opt.height = 120;
+    opt.supersample = s;
+    opt.threads = 2;
+    const raster::ImageRaster img = raster::rasterize(terr, solved.map, opt);
+    const std::string name = "raster/fbm/g48/r160s" + std::to_string(s);
+    cases[name]["crossings"] = img.crossings;
+    cases[name]["hit_samples"] = img.hit_samples;
+    cases[name]["samples"] = img.samples;
+    cases[name]["k_pieces"] = solved.stats.k_pieces;
+
+    const raster::ImageRaster banded = raster::rasterize_sharded(sharded.plan(), slab_maps, opt);
+    if (banded.ids != img.ids || banded.depth != img.depth || banded.coverage != img.coverage) {
+      std::cout << "FAIL  " << name << ": sharded raster differs from monolithic\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,15 +361,22 @@ int main(int argc, char** argv) {
   // Sharded solves: baseline cases + the duplication-bound work gate.
   const int shard_failures = run_shard_cases(cases);
 
+  // Raster products: baseline cases + the sharded-equality image gate.
+  const int raster_failures = run_raster_cases(cases);
+
   write_json(cases, out_path);
   std::cout << "wrote " << cases.size() << " cases to " << out_path << "\n";
+  const int gate_failures = shard_failures + raster_failures;
   if (shard_failures) {
     // Reported now, but keep going: a single run should surface both this
     // and any baseline regressions below.
     std::cout << shard_failures << " sharding duplication-bound violation(s)\n";
   }
+  if (raster_failures) {
+    std::cout << raster_failures << " sharded-raster equality violation(s)\n";
+  }
 
-  if (check_path.empty()) return shard_failures ? 1 : 0;
+  if (check_path.empty()) return gate_failures ? 1 : 0;
   std::ifstream is(check_path);
   if (!is) {
     std::cerr << "bench_ci: cannot read baseline " << check_path << "\n";
@@ -347,5 +397,5 @@ int main(int argc, char** argv) {
     std::cout << "counters within +" << tolerance << "% of baseline (" << baseline->size()
               << " cases)\n";
   }
-  return (failures || shard_failures) ? 1 : 0;
+  return (failures || gate_failures) ? 1 : 0;
 }

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Documentation link checker — the drift gate behind the CI `docs` job.
+
+Two passes, run from the repository root:
+
+1. **Markdown links.** For every markdown file passed on the command
+   line: each inline link ``[text](target)`` outside fenced code blocks
+   must resolve — relative targets must exist on disk, and ``#fragment``
+   anchors (same-file or into another markdown file) must match a
+   heading's GitHub-style slug. ``http(s)``/``mailto`` links are noted
+   but never fetched (the check runs offline).
+
+2. **DESIGN.md section citations.** Source files cite the design document
+   as ``DESIGN.md section N[.M]`` and markdown files as
+   ``DESIGN.md §N[.M]``; every cited section number must exist as a
+   numbered heading in DESIGN.md. Renumbering a section without updating
+   its citations fails the build.
+
+Exit status 0 when everything resolves, 1 otherwise (each failure on its
+own line). No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+LINK_RE = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SECTION_HEADING_RE = re.compile(r"^#{1,6}\s+(\d+(?:\.\d+)?)[.\s]", re.MULTILINE)
+SECTION_CITE_SRC_RE = re.compile(r"DESIGN\.md section (\d+(?:\.\d+)?)")
+SECTION_CITE_MD_RE = re.compile(r"DESIGN\.md`?\s*§(\d+(?:\.\d+)?)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip formatting, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading).strip()
+    text = re.sub(r"\{#[^}]*\}\s*$", "", text).strip()  # explicit {#anchor}
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: pathlib.Path) -> set[str]:
+    out: set[str] = set()
+    for m in HEADING_RE.finditer(md_path.read_text(encoding="utf-8")):
+        heading = m.group(1)
+        out.add(github_slug(heading))
+        explicit = re.search(r"\{#([^}]*)\}", heading)
+        if explicit:
+            out.add(explicit.group(1))
+    return out
+
+
+def check_markdown(md_file: str, failures: list[str]) -> int:
+    path = pathlib.Path(md_file)
+    if not path.is_file():
+        failures.append(f"{md_file}: file not found")
+        return 0
+    text = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    checked = 0
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        checked += 1
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:, ...
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if base == "" else (path.parent / base)
+        if base and not dest.exists():
+            failures.append(f"{md_file}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md" and dest.is_file():
+            if fragment not in anchors_of(dest):
+                failures.append(f"{md_file}: broken anchor -> {target}")
+    return checked
+
+
+def check_design_citations(failures: list[str]) -> int:
+    design = pathlib.Path("DESIGN.md")
+    if not design.is_file():
+        failures.append("DESIGN.md: file not found (section-citation check)")
+        return 0
+    sections = set(SECTION_HEADING_RE.findall(design.read_text(encoding="utf-8")))
+    checked = 0
+    roots = ["src", "tests", "bench", "examples", "docs"]
+    files: list[pathlib.Path] = [pathlib.Path("README.md"), pathlib.Path("EXPERIMENTS.md")]
+    for root in roots:
+        files += sorted(pathlib.Path(root).rglob("*.hpp"))
+        files += sorted(pathlib.Path(root).rglob("*.cpp"))
+        files += sorted(pathlib.Path(root).rglob("*.md"))
+    for f in files:
+        if not f.is_file():
+            continue
+        text = f.read_text(encoding="utf-8", errors="replace")
+        for pattern in (SECTION_CITE_SRC_RE, SECTION_CITE_MD_RE):
+            for cite in pattern.findall(text):
+                checked += 1
+                if cite not in sections:
+                    failures.append(f"{f}: cites DESIGN.md section {cite}, which does not exist")
+    return checked
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    links = sum(check_markdown(f, failures) for f in argv[1:])
+    cites = check_design_citations(failures)
+    for line in failures:
+        print(f"FAIL  {line}")
+    print(f"checked {links} links in {len(argv) - 1} files, {cites} DESIGN.md citations: "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

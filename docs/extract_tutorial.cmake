@@ -1,0 +1,35 @@
+# Extract every ```cpp fenced block from TUTORIAL (in order) and
+# concatenate them into OUT — the translation unit behind the
+# tutorial_smoke test. Run as: cmake -DTUTORIAL=... -DOUT=... -P this.
+#
+# The page is the single source of truth: nothing is compiled that is not
+# shown, and nothing shown escapes compilation.
+cmake_minimum_required(VERSION 3.20)  # script mode: pin modern if()/while() policies
+if(NOT DEFINED TUTORIAL OR NOT DEFINED OUT)
+  message(FATAL_ERROR "extract_tutorial.cmake needs -DTUTORIAL=<md> -DOUT=<cpp>")
+endif()
+file(READ ${TUTORIAL} text)
+set(code "// Generated from docs/TUTORIAL.md by extract_tutorial.cmake; do not edit.\n")
+set(blocks 0)
+while(TRUE)
+  string(FIND "${text}" "```cpp\n" start)
+  if(start EQUAL -1)
+    break()
+  endif()
+  math(EXPR code_start "${start} + 7")
+  string(SUBSTRING "${text}" ${code_start} -1 rest)
+  string(FIND "${rest}" "```" fence)
+  if(fence EQUAL -1)
+    message(FATAL_ERROR "unterminated ```cpp block in ${TUTORIAL}")
+  endif()
+  string(SUBSTRING "${rest}" 0 ${fence} block)
+  string(APPEND code "${block}\n")
+  math(EXPR blocks "${blocks} + 1")
+  math(EXPR next "${fence} + 3")
+  string(SUBSTRING "${rest}" ${next} -1 text)
+endwhile()
+if(blocks EQUAL 0)
+  message(FATAL_ERROR "no ```cpp blocks found in ${TUTORIAL}")
+endif()
+file(WRITE ${OUT} "${code}")
+message(STATUS "extracted ${blocks} tutorial blocks into ${OUT}")

@@ -1,0 +1,24 @@
+# Smoke test for the raster_viewshed example, run by CTest via -P. The
+# example exits nonzero when any of its built-in cross-checks (backend
+# bit-identity, sharded == monolithic, ray-cast oracle) fails; the output
+# match below additionally catches a run that silently skipped them.
+execute_process(
+  COMMAND ${RASTER_VIEWSHED} --demo 160 120 4
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "raster_viewshed exited with '${rc}'\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "ray-cast oracle agrees")
+  message(FATAL_ERROR "raster_viewshed ran no oracle cross-check\nstdout:\n${out}")
+endif()
+if(NOT out MATCHES "sharded \\(S=4, disjoint column bands, no stitch\\) == monolithic")
+  message(FATAL_ERROR "raster_viewshed ran no sharded cross-check\nstdout:\n${out}")
+endif()
+foreach(artifact raster_ids.ppm raster_depth.pgm viewshed.asc)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "raster_viewshed wrote no ${artifact}")
+  endif()
+endforeach()

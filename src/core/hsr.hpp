@@ -97,6 +97,14 @@ struct HsrResult {
 /// Solve hidden-surface removal for `t` viewed from x = +infinity.
 /// One-shot convenience over HsrEngine (core/engine.hpp): prepares a
 /// temporary engine and runs a single solve.
+/// \param t   the terrain; must outlive the call only
+/// \param opt algorithm / oracle / executor selection (see HsrOptions)
+/// \return the exact visibility map plus per-run statistics; identical —
+///         bit for bit — for every algorithm, backend, and thread count
+/// \throws std::bad_alloc only; invalid options trip THSR_CHECK.
+/// Work O((n+k)·polylog n) for the output-sensitive algorithms
+/// (DESIGN.md section 2); wall clock additionally divides by p on the
+/// parallel path (Theorem 3.1's /p term).
 HsrResult hidden_surface_removal(const Terrain& t, const HsrOptions& opt = {});
 
 }  // namespace thsr

@@ -1,0 +1,176 @@
+#include "io/image.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace thsr::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw std::runtime_error("netpbm: " + what); }
+
+/// Read one whitespace/comment-separated unsigned header token. The
+/// Netpbm grammar allows `#` comments anywhere between header tokens.
+std::uint64_t read_header_uint(std::istream& is, const char* what) {
+  for (;;) {
+    const int c = is.peek();
+    if (c == '#') {
+      is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      continue;
+    }
+    if (std::isspace(c)) {
+      is.get();
+      continue;
+    }
+    break;
+  }
+  std::uint64_t v = 0;
+  bool any = false;
+  while (std::isdigit(is.peek())) {
+    v = v * 10 + static_cast<std::uint64_t>(is.get() - '0');
+    any = true;
+    if (v > std::numeric_limits<std::uint32_t>::max()) fail(std::string(what) + " overflows");
+  }
+  if (!any) fail(std::string("missing or non-numeric ") + what);
+  return v;
+}
+
+void read_magic(std::istream& is, const char* want) {
+  char m[2] = {0, 0};
+  is.read(m, 2);
+  if (!is || m[0] != want[0] || m[1] != want[1]) {
+    fail(std::string("expected magic '") + want + "'");
+  }
+}
+
+struct Header {
+  std::uint32_t width, height;
+  std::uint32_t maxval;
+};
+
+Header read_header(std::istream& is, const char* magic, std::uint32_t maxval_cap) {
+  read_magic(is, magic);
+  Header h{};
+  h.width = static_cast<std::uint32_t>(read_header_uint(is, "width"));
+  h.height = static_cast<std::uint32_t>(read_header_uint(is, "height"));
+  h.maxval = static_cast<std::uint32_t>(read_header_uint(is, "maxval"));
+  if (h.width == 0 || h.height == 0) fail("zero image dimension");
+  if (h.width > kMaxImageDim || h.height > kMaxImageDim) {
+    fail("dimension exceeds the " + std::to_string(kMaxImageDim) + " reader cap");
+  }
+  if (h.maxval == 0 || h.maxval > maxval_cap) {
+    fail("maxval " + std::to_string(h.maxval) + " out of range (1.." +
+         std::to_string(maxval_cap) + ")");
+  }
+  // Exactly one whitespace byte separates the header from the raster.
+  const int sep = is.get();
+  if (sep == std::char_traits<char>::eof() || !std::isspace(sep)) {
+    fail("missing whitespace before pixel data");
+  }
+  return h;
+}
+
+template <typename Img>
+void check_writable(const Img& img, std::size_t bytes_expected, std::size_t bytes_have) {
+  if (img.width == 0 || img.height == 0) fail("refusing to write an empty image");
+  if (bytes_have != bytes_expected) fail("pixel buffer size does not match width*height");
+}
+
+}  // namespace
+
+void write_pgm(const GrayImage& img, std::ostream& os) {
+  check_writable(img, static_cast<std::size_t>(img.width) * img.height, img.pixels.size());
+  if (img.maxval == 0) fail("maxval must be positive");
+  for (const std::uint16_t v : img.pixels) {
+    if (v > img.maxval) fail("sample exceeds maxval");
+  }
+  os << "P5\n" << img.width << " " << img.height << "\n" << img.maxval << "\n";
+  if (img.maxval > 255) {
+    for (const std::uint16_t v : img.pixels) {
+      const char b[2] = {static_cast<char>(v >> 8), static_cast<char>(v & 0xff)};
+      os.write(b, 2);
+    }
+  } else {
+    for (const std::uint16_t v : img.pixels) os.put(static_cast<char>(v));
+  }
+  if (!os) fail("stream failure while writing PGM");
+}
+
+GrayImage read_pgm(std::istream& is) {
+  const Header h = read_header(is, "P5", 65535);
+  GrayImage img;
+  img.width = h.width;
+  img.height = h.height;
+  img.maxval = static_cast<std::uint16_t>(h.maxval);
+  const std::size_t n = static_cast<std::size_t>(h.width) * h.height;
+  img.pixels.resize(n);
+  if (h.maxval > 255) {
+    std::vector<char> raw(n * 2);
+    is.read(raw.data(), static_cast<std::streamsize>(raw.size()));
+    if (static_cast<std::size_t>(is.gcount()) != raw.size()) fail("truncated PGM pixel data");
+    for (std::size_t i = 0; i < n; ++i) {
+      img.pixels[i] =
+          static_cast<std::uint16_t>((static_cast<unsigned char>(raw[2 * i]) << 8) |
+                                     static_cast<unsigned char>(raw[2 * i + 1]));
+    }
+  } else {
+    std::vector<char> raw(n);
+    is.read(raw.data(), static_cast<std::streamsize>(raw.size()));
+    if (static_cast<std::size_t>(is.gcount()) != raw.size()) fail("truncated PGM pixel data");
+    for (std::size_t i = 0; i < n; ++i) img.pixels[i] = static_cast<unsigned char>(raw[i]);
+  }
+  for (const std::uint16_t v : img.pixels) {
+    if (v > img.maxval) fail("sample exceeds declared maxval");
+  }
+  return img;
+}
+
+GrayImage read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open " + path);
+  return read_pgm(is);
+}
+
+void write_pgm(const GrayImage& img, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open " + path);
+  write_pgm(img, os);
+}
+
+void write_ppm(const RgbImage& img, std::ostream& os) {
+  check_writable(img, static_cast<std::size_t>(img.width) * img.height * 3, img.rgb.size());
+  os << "P6\n" << img.width << " " << img.height << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.rgb.data()),
+           static_cast<std::streamsize>(img.rgb.size()));
+  if (!os) fail("stream failure while writing PPM");
+}
+
+RgbImage read_ppm(std::istream& is) {
+  const Header h = read_header(is, "P6", 255);
+  if (h.maxval != 255) fail("only maxval 255 PPM is supported");
+  RgbImage img;
+  img.width = h.width;
+  img.height = h.height;
+  const std::size_t n = static_cast<std::size_t>(h.width) * h.height * 3;
+  img.rgb.resize(n);
+  is.read(reinterpret_cast<char*>(img.rgb.data()), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) fail("truncated PPM pixel data");
+  return img;
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open " + path);
+  return read_ppm(is);
+}
+
+void write_ppm(const RgbImage& img, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open " + path);
+  write_ppm(img, os);
+}
+
+}  // namespace thsr::io

@@ -1,0 +1,75 @@
+#pragma once
+/// \file image.hpp
+/// Minimal binary Netpbm IO: 16-bit grayscale PGM (P5) and 8-bit RGB PPM
+/// (P6) — the portable containers the raster subsystem (src/raster/)
+/// writes its image-space products into. Writers and readers round-trip
+/// bit-exactly; readers throw std::runtime_error on malformed input
+/// (bad magic, non-positive or oversized dimensions, out-of-range maxval,
+/// truncated pixel data), mirroring the `.asc` loader's contract
+/// (terrain/asc_io.hpp).
+///
+/// Only the two fixed formats are implemented — P5 with maxval up to
+/// 65535 (two big-endian bytes per sample above 255, per the Netpbm
+/// spec) and P6 with maxval 255 — because that is exactly what the
+/// raster products need: depth/coverage/viewshed grids as PGM, the
+/// visible-triangle ID map as PPM. Comments (`#`) in headers are
+/// accepted on read and never emitted on write.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace thsr::io {
+
+/// Largest accepted width/height on read: rejects hostile headers before
+/// the pixel buffer is allocated (the same defensive posture as the
+/// `.asc` loader's sample cap).
+inline constexpr std::uint32_t kMaxImageDim = 1u << 16;
+
+/// A grayscale image with samples in [0, maxval], row-major, row 0 = top.
+struct GrayImage {
+  std::uint32_t width{0};   ///< columns
+  std::uint32_t height{0};  ///< rows
+  std::uint16_t maxval{255};///< largest sample value (1..65535)
+  std::vector<std::uint16_t> pixels;  ///< width*height samples
+
+  /// Sample at (row, col); no bounds check beyond the debug contract.
+  std::uint16_t at(std::uint32_t row, std::uint32_t col) const {
+    return pixels[static_cast<std::size_t>(row) * width + col];
+  }
+};
+
+/// An 8-bit RGB image (maxval 255), row-major, row 0 = top, 3 bytes per
+/// pixel in R,G,B order.
+struct RgbImage {
+  std::uint32_t width{0};   ///< columns
+  std::uint32_t height{0};  ///< rows
+  std::vector<unsigned char> rgb;  ///< 3*width*height bytes
+};
+
+/// Write `img` as binary PGM (P5). Samples above 255 use the two-byte
+/// big-endian encoding the spec mandates for maxval > 255. Throws on an
+/// empty image, samples exceeding maxval, or stream failure.
+void write_pgm(const GrayImage& img, std::ostream& os);
+/// \overload Opens `path` for binary writing; throws when it cannot.
+void write_pgm(const GrayImage& img, const std::string& path);
+
+/// Parse a binary PGM (P5). Inverse of write_pgm: bit-exact round-trip.
+GrayImage read_pgm(std::istream& is);
+/// \overload Opens `path` for binary reading; throws when it cannot.
+GrayImage read_pgm(const std::string& path);
+
+/// Write `img` as binary PPM (P6, maxval 255). Throws on an empty image,
+/// a size mismatch between `rgb` and width*height, or stream failure.
+void write_ppm(const RgbImage& img, std::ostream& os);
+/// \overload Opens `path` for binary writing; throws when it cannot.
+void write_ppm(const RgbImage& img, const std::string& path);
+
+/// Parse a binary PPM (P6). Inverse of write_ppm: bit-exact round-trip.
+/// Accepts only maxval 255 (the one variant write_ppm emits).
+RgbImage read_ppm(std::istream& is);
+/// \overload Opens `path` for binary reading; throws when it cannot.
+RgbImage read_ppm(const std::string& path);
+
+}  // namespace thsr::io

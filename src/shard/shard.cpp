@@ -107,6 +107,9 @@ ShardPlan decompose(const Terrain& t, u32 slabs) {
           {local_of(tris[ti].a), local_of(tris[ti].b), local_of(tris[ti].c)});
     }
     slab.terrain = Terrain::from_triangles(std::move(local_verts), std::move(local_tris));
+    // from_triangles preserves triangle order, so tri_ids *is* the
+    // slab-local -> source triangle map (consumed by raster/raster.hpp).
+    slab.global_tri = std::move(tri_ids);
 
     // Every slab edge is a source edge under the vertex renumbering.
     slab.global_edge.reserve(slab.terrain.edge_count());

@@ -51,6 +51,7 @@ inline constexpr double kShardWorkSlack = 1.25;
 struct SlabTerrain {
   Terrain terrain;
   std::vector<u32> global_edge;  ///< slab-local edge id -> source edge id
+  std::vector<u32> global_tri;   ///< slab-local triangle id -> source triangle id
   i64 y_lo{0}, y_hi{0};          ///< closed solve window
 };
 

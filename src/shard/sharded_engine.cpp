@@ -57,7 +57,7 @@ const ShardPlan& ShardedEngine::plan() const {
   return impl_->plan;
 }
 
-HsrResult ShardedEngine::solve(const HsrOptions& opt) {
+std::vector<std::optional<HsrResult>> ShardedEngine::solve_slabs(const HsrOptions& opt) {
   Impl& im = *impl_;
   THSR_CHECK(im.prepared);
   const par::ScopedConfig cfg(opt.threads, opt.backend);
@@ -65,7 +65,6 @@ HsrResult ShardedEngine::solve(const HsrOptions& opt) {
   // must exist in this build.
   if (opt.backend) THSR_CHECK(cfg.backend_applied());
 
-  const auto t0 = std::chrono::steady_clock::now();
   HsrOptions slab_opt = opt;  // the fan-out owns the executor configuration
   slab_opt.threads = 0;
   slab_opt.backend.reset();
@@ -75,6 +74,16 @@ HsrResult ShardedEngine::solve(const HsrOptions& opt) {
   par::fan_items(S, [&](std::size_t s) {
     if (im.engines[s]) per[s] = im.engines[s]->solve_scoped(slab_opt);
   });
+  return per;
+}
+
+HsrResult ShardedEngine::solve(const HsrOptions& opt) {
+  Impl& im = *impl_;
+  THSR_CHECK(im.prepared);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::optional<HsrResult>> per = solve_slabs(opt);
+  const std::size_t S = per.size();
 
   std::vector<const VisibilityMap*> maps(S, nullptr);
   for (std::size_t s = 0; s < S; ++s) {

@@ -63,6 +63,15 @@ class ShardedEngine {
   /// `layers` empty (see file comment).
   HsrResult solve(const HsrOptions& opt = {});
 
+  /// Solve every slab with `opt` (the same fan-out as solve()) and return
+  /// the raw per-slab results *without* stitching: entry i holds slab i's
+  /// map indexed by slab-local edge ids (translate via
+  /// plan().slabs[i].global_edge / global_tri), or nullopt for an empty
+  /// slab. This is the raster path's entry point: per-slab maps rasterize
+  /// independently into disjoint image-column bands, so no stitch is ever
+  /// materialized (raster/raster.hpp, rasterize_sharded).
+  std::vector<std::optional<HsrResult>> solve_slabs(const HsrOptions& opt = {});
+
   /// Wall-clock seconds the last prepare() took: decomposition plus every
   /// per-slab engine preparation (amortized across solves).
   double prepare_seconds() const noexcept;

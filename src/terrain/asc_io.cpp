@@ -133,7 +133,7 @@ void save_asc_grid(const AscGrid& g, const std::string& path) {
   save_asc_grid(g, os);
 }
 
-Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt) {
+Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt, AscMapping* mapping) {
   if (g.ncols < 2 || g.nrows < 2) fail("grid too small to triangulate (need >= 2x2)");
 
   // Stride so the sampled lattice fits the coordinate budget.
@@ -223,6 +223,24 @@ Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt) {
     }
   }
   for (Triangle& tr : tris) tr = {remap[tr.a], remap[tr.b], remap[tr.c]};
+
+  if (mapping != nullptr) {
+    mapping->rows = rows;
+    mapping->cols = cols;
+    mapping->stride = stride;
+    mapping->xll = g.xll;
+    // The sampled grid's southernmost row is source row (rows-1)*stride;
+    // any rows the stride drops below it shift the south edge north.
+    mapping->yll =
+        g.yll + static_cast<double>(g.nrows - 1 - (rows - 1) * stride) * g.cellsize;
+    mapping->cell_centered = g.cell_centered;
+    mapping->cellsize = g.cellsize * stride;
+    mapping->nodata = g.nodata;
+    mapping->vertex.assign(static_cast<std::size_t>(rows) * cols, kNoAscVertex);
+    for (std::size_t i = 0; i < vid.size(); ++i) {
+      if (vid[i] != kNoVert && used[vid[i]]) mapping->vertex[i] = remap[vid[i]];
+    }
+  }
   return Terrain::from_triangles(std::move(packed), std::move(tris));
 }
 

@@ -66,11 +66,40 @@ struct AscTerrainOptions {
                          ///< that fits kMaxAscGrid
 };
 
+/// Sampled-grid site with no terrain vertex (a NODATA hole).
+inline constexpr u32 kNoAscVertex = 0xffffffffu;
+
+/// Registration of a terrain built by `terrain_from_asc` back onto the
+/// source DEM: which (strided) grid sample became which terrain vertex,
+/// plus the georeferencing of the *sampled* grid so raster products
+/// (raster/viewshed.hpp) can be written as `.asc` files aligned with the
+/// source. Row 0 is the northernmost sampled row, matching AscGrid.
+struct AscMapping {
+  u32 rows{0};           ///< sampled rows ((nrows-1)/stride + 1)
+  u32 cols{0};           ///< sampled cols ((ncols-1)/stride + 1)
+  u32 stride{1};         ///< source rows/cols consumed per sample
+  double xll{0};         ///< west edge of the sampled grid (= source xll)
+  double yll{0};         ///< south edge of the *sampled* grid: the source
+                         ///< yll shifted north by the rows the stride drops
+  bool cell_centered{false};  ///< source grid used xllcenter/yllcenter
+  double cellsize{1.0};  ///< source cellsize * stride
+  std::optional<double> nodata;  ///< source NODATA_value, if declared
+  std::vector<u32> vertex;  ///< rows*cols: terrain vertex id or kNoAscVertex
+
+  /// Terrain vertex at sampled site (row, col), or kNoAscVertex.
+  u32 vertex_at(u32 row, u32 col) const {
+    return vertex[static_cast<std::size_t>(row) * cols + col];
+  }
+};
+
 /// Resample `g` onto the integer lattice and triangulate the data cells
 /// (cells with all four corners NODATA-free; alternating diagonals like
 /// the generators). The northernmost row lands nearest the viewer
 /// (x = +infinity); use Terrain::rotate_ground for other azimuths.
-Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt = {});
+/// When `mapping` is non-null it receives the sample-to-vertex
+/// registration of the result (see AscMapping).
+Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt = {},
+                         AscMapping* mapping = nullptr);
 
 /// Parse + resample in one step.
 Terrain load_asc(std::istream& is, const AscTerrainOptions& opt = {});

@@ -35,7 +35,9 @@ struct GenOptions {
   double spike_density{0.05};  ///< Spikes family only
 };
 
-/// Build a terrain of the requested family.
+/// Build a terrain of the requested family. Deterministic in
+/// (family, grid, seed, shear, jitter); O(grid^2) vertices and
+/// ~3*(grid-1)^2 edges (DESIGN.md section 1.5 for the lattice).
 Terrain make_terrain(const GenOptions& opt);
 
 /// Family from its bench/CLI name ("fbm", "ridge_front", ...). Throws on

@@ -12,14 +12,21 @@
 
 namespace thsr {
 
-/// Write the terrain as OBJ.
+/// Write the terrain as OBJ (`v` lines in vertex order, then `f` lines in
+/// triangle order; 1-based indices). O(n).
 void save_obj(const Terrain& t, std::ostream& os);
+/// \overload Opens `path` for writing; throws std::runtime_error when it cannot.
 void save_obj(const Terrain& t, const std::string& path);
 
-/// Load a triangle-mesh OBJ; coordinates are multiplied by `scale` and
-/// rounded to integers. Throws std::runtime_error on parse errors, bound
-/// violations, or non-triangular faces.
+/// Load a triangle-mesh OBJ.
+/// \param is    the OBJ text (only `v`/`f` records; `#` comments allowed)
+/// \param scale coordinates are multiplied by `scale`, then rounded to the
+///              integer lattice the exact predicates require
+/// \return the validated terrain (Terrain::from_triangles contract)
+/// \throws std::runtime_error on parse errors, coordinate-bound
+///         violations after scaling, or non-triangular faces. O(n).
 Terrain load_obj(std::istream& is, double scale = 1.0);
+/// \overload Opens `path` for reading; throws std::runtime_error when it cannot.
 Terrain load_obj(const std::string& path, double scale = 1.0);
 
 }  // namespace thsr

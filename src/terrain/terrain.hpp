@@ -19,45 +19,65 @@
 
 namespace thsr {
 
+/// A terrain vertex: integer coordinates with |coordinate| <= kMaxCoord
+/// (2^21, DESIGN.md section 5). x points toward the viewer, y spans the
+/// image plane horizontally, z is height.
 struct Vertex3 {
-  i64 x{0}, y{0}, z{0};
+  i64 x{0};  ///< depth axis: the viewer sits at x = +infinity
+  i64 y{0};  ///< image-plane abscissa
+  i64 z{0};  ///< height (the terrain is z = f(x, y))
   friend constexpr bool operator==(const Vertex3&, const Vertex3&) = default;
 };
 
+/// A triangular face as three vertex indices. Orientation is free: the
+/// library derives ground orientation from coordinates where needed.
 struct Triangle {
-  u32 a{0}, b{0}, c{0};
+  u32 a{0};  ///< first vertex index
+  u32 b{0};  ///< second vertex index
+  u32 c{0};  ///< third vertex index
 };
 
 /// Canonical undirected edge: a < b as vertex indices.
 struct Edge {
-  u32 a{0}, b{0};
+  u32 a{0};  ///< smaller endpoint index
+  u32 b{0};  ///< larger endpoint index
   friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
 };
 
 /// Degenerate edge (dy == 0): a vertical segment {y} x [zlo, zhi] in the
-/// image plane, with ground x-extent [xlo, xhi].
+/// image plane, with ground x-extent [xlo, xhi] (DESIGN.md section 4.5).
 struct SliverInfo {
-  i64 y{0};
-  i64 x_lo{0}, x_hi{0};
-  i64 z_lo{0}, z_hi{0};
+  i64 y{0};             ///< the single image-plane ordinate the edge occupies
+  i64 x_lo{0}, x_hi{0}; ///< ground depth extent (x_lo <= x_hi)
+  i64 z_lo{0}, z_hi{0}; ///< image-plane height extent (z_lo <= z_hi)
 };
 
 class Terrain {
  public:
   Terrain() = default;
 
-  /// Build from a triangle soup; computes the unique edge set and validates
-  /// coordinate bounds and the z = f(x,y) property (no duplicate (x,y)).
+  /// Build from a triangle soup; computes the unique edge set (sorted, so
+  /// edge ids are stable in the input alone) and validates coordinate
+  /// bounds and the z = f(x,y) property (no duplicate ground position).
+  /// Triangle order is preserved — triangle ids are input indices.
+  /// \param vertices  vertex table; every |coordinate| must be <= kMaxCoord
+  /// \param triangles faces into `vertices`; must be non-degenerate in
+  ///                  ground projection
+  /// \return the validated terrain
+  /// \throws std::invalid_argument on bound violations, degenerate faces,
+  ///         or duplicate ground positions. O(m log m) in the face count.
   static Terrain from_triangles(std::vector<Vertex3> vertices, std::vector<Triangle> triangles);
 
-  std::size_t vertex_count() const noexcept { return vertices_.size(); }
+  std::size_t vertex_count() const noexcept { return vertices_.size(); }  ///< number of vertices
+  /// Number of faces.
   std::size_t triangle_count() const noexcept { return triangles_.size(); }
-  std::size_t edge_count() const noexcept { return edges_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }  ///< number of unique edges
 
-  const Vertex3& vertex(u32 i) const { return vertices_[i]; }
-  std::span<const Vertex3> vertices() const noexcept { return vertices_; }
+  const Vertex3& vertex(u32 i) const { return vertices_[i]; }  ///< vertex by index
+  std::span<const Vertex3> vertices() const noexcept { return vertices_; }  ///< all vertices
+  /// All faces, in input order (triangle ids are input indices).
   std::span<const Triangle> triangles() const noexcept { return triangles_; }
-  std::span<const Edge> edges() const noexcept { return edges_; }
+  std::span<const Edge> edges() const noexcept { return edges_; }  ///< unique edges, sorted
 
   /// True when edge e's ground projection has dy == 0.
   bool is_sliver(u32 e) const {
@@ -81,6 +101,7 @@ class Terrain {
     return p.y < q.y ? Seg2{p.y, p.x, q.y, q.x} : Seg2{q.y, q.x, p.y, p.x};
   }
 
+  /// Degenerate-edge descriptor. Requires is_sliver(e).
   SliverInfo sliver(u32 e) const {
     const Edge& ed = edges_[e];
     const Vertex3 &p = vertices_[ed.a], &q = vertices_[ed.b];
@@ -94,9 +115,9 @@ class Terrain {
     return s;
   }
 
-  i64 min_y() const noexcept { return min_y_; }
-  i64 max_y() const noexcept { return max_y_; }
-  i64 max_abs_coord() const noexcept { return max_abs_; }
+  i64 min_y() const noexcept { return min_y_; }          ///< smallest vertex ordinate
+  i64 max_y() const noexcept { return max_y_; }          ///< largest vertex ordinate
+  i64 max_abs_coord() const noexcept { return max_abs_; } ///< largest |coordinate| present
 
   /// O(min(pairs, n^2)) check that ground projections of non-sliver edges do
   /// not properly cross (test helper; terrains built by the generators hold

@@ -13,20 +13,24 @@
 
 namespace thsr {
 
-/// True if the ground projection of `face` (vertex indices, CCW) is convex.
+/// True if the ground projection of `face` (vertex indices, CCW) is
+/// convex. O(|face|) exact orientation tests.
 bool face_convex_ground(std::span<const u32> face, std::span<const Vertex3> verts);
 
-/// Fan triangulation of a convex face.
+/// Fan triangulation of a convex face: |face| - 2 triangles from the
+/// first vertex. O(|face|).
 std::vector<Triangle> triangulate_convex(std::span<const u32> face);
 
 /// Stack triangulation of a polygon that is monotone with respect to y in
-/// ground projection (CCW orientation). Throws std::invalid_argument if the
-/// polygon is not y-monotone.
+/// ground projection (CCW orientation). O(|face|) after the O(|face|)
+/// monotonicity scan.
+/// \throws std::invalid_argument if the polygon is not y-monotone.
 std::vector<Triangle> triangulate_monotone(std::span<const u32> face,
                                            std::span<const Vertex3> verts);
 
-/// Triangulate every face (convex fan when possible, monotone otherwise) and
-/// assemble a Terrain.
+/// Triangulate every face (convex fan when possible, monotone otherwise)
+/// and assemble a Terrain (Terrain::from_triangles contract). O(m log m)
+/// in the total face size.
 Terrain triangulate_polygonal(std::vector<Vertex3> verts,
                               const std::vector<std::vector<u32>>& faces);
 

@@ -1,15 +1,21 @@
-/// IO smoke tests: SVG rendering and the bench table builder.
+/// IO tests: the PGM/PPM image writers (round-trip + malformed input),
+/// the `.asc` grid writer round-trip, SVG rendering, and the bench table
+/// builder (Markdown + CSV).
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <random>
 #include <sstream>
 
 #include "core/hsr.hpp"
 #include "envelope/build.hpp"
 #include "io/csv.hpp"
+#include "io/image.hpp"
 #include "io/svg.hpp"
+#include "terrain/asc_io.hpp"
 #include "terrain/generators.hpp"
 #include "test_util.hpp"
 
@@ -72,6 +78,176 @@ TEST(Table, NumHelpers) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(static_cast<long long>(-42)), "-42");
   EXPECT_EQ(Table::num(static_cast<unsigned long long>(7)), "7");
+}
+
+TEST(Table, CsvWriterHonorsEnvironment) {
+  Table t({"a", "b"});
+  t.row({"1", "x"});
+  t.row({"2", "y"});
+  const std::string dir = ::testing::TempDir();
+  const std::string cwd_guard = dir + "/thsr_csv_test";
+  ASSERT_EQ(setenv("THSR_BENCH_CSV", "0", 1), 0);
+  t.maybe_write_csv(cwd_guard + "_off");
+  EXPECT_FALSE(std::ifstream(cwd_guard + "_off.csv").good());
+  ASSERT_EQ(setenv("THSR_BENCH_CSV", "1", 1), 0);
+  t.maybe_write_csv(cwd_guard);
+  std::ifstream is(cwd_guard + ".csv");
+  ASSERT_TRUE(is.good());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,x");
+  ASSERT_EQ(unsetenv("THSR_BENCH_CSV"), 0);
+  std::remove((cwd_guard + ".csv").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// PGM / PPM writers (io/image.hpp)
+// ---------------------------------------------------------------------------
+
+io::GrayImage random_gray(u64 seed, u32 w, u32 h, std::uint16_t maxval) {
+  auto g = test::rng(seed);
+  std::uniform_int_distribution<int> px(0, maxval);
+  io::GrayImage img;
+  img.width = w;
+  img.height = h;
+  img.maxval = maxval;
+  img.pixels.resize(std::size_t{w} * h);
+  for (auto& p : img.pixels) p = static_cast<std::uint16_t>(px(g));
+  return img;
+}
+
+TEST(Pgm, RoundTripEightBit) {
+  const io::GrayImage img = random_gray(11, 23, 17, 255);
+  std::stringstream ss;
+  io::write_pgm(img, ss);
+  const io::GrayImage back = io::read_pgm(ss);
+  EXPECT_EQ(back.width, img.width);
+  EXPECT_EQ(back.height, img.height);
+  EXPECT_EQ(back.maxval, img.maxval);
+  EXPECT_EQ(back.pixels, img.pixels);
+}
+
+TEST(Pgm, RoundTripSixteenBit) {
+  const io::GrayImage img = random_gray(12, 9, 31, 65535);
+  std::stringstream ss;
+  io::write_pgm(img, ss);
+  const io::GrayImage back = io::read_pgm(ss);
+  EXPECT_EQ(back.maxval, 65535);
+  EXPECT_EQ(back.pixels, img.pixels);
+}
+
+TEST(Pgm, RoundTripThroughFile) {
+  const io::GrayImage img = random_gray(13, 8, 6, 1000);
+  const std::string path = ::testing::TempDir() + "/thsr_io.pgm";
+  io::write_pgm(img, path);
+  const io::GrayImage back = io::read_pgm(path);
+  EXPECT_EQ(back.pixels, img.pixels);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ReaderAcceptsHeaderComments) {
+  std::stringstream ss("P5\n# a comment\n2 1\n# more\n255\n\x01\x02");
+  const io::GrayImage img = io::read_pgm(ss);
+  EXPECT_EQ(img.width, 2u);
+  EXPECT_EQ(img.pixels, (std::vector<std::uint16_t>{1, 2}));
+}
+
+TEST(Pgm, MalformedInputsThrow) {
+  const auto rejects = [](const std::string& data) {
+    std::stringstream ss(data);
+    EXPECT_THROW((void)io::read_pgm(ss), std::runtime_error) << "accepted: " << data;
+  };
+  rejects("P6\n2 2\n255\nxxxx");          // wrong magic for PGM
+  rejects("junk");                        // no magic at all
+  rejects("P5\n0 2\n255\n");              // zero dimension
+  rejects("P5\n2 2\n0\n\0\0\0\0");        // maxval 0
+  rejects("P5\n2 2\n70000\n");            // maxval over 65535
+  rejects("P5\n2 2\n255\n\x01\x02");      // truncated pixel data
+  rejects("P5\nx 2\n255\n");              // non-numeric dimension
+  rejects("P5\n999999999 999999999\n255\n");  // hostile dimensions
+  EXPECT_THROW((void)io::read_pgm(std::string("/nonexistent/thsr.pgm")), std::runtime_error);
+}
+
+TEST(Pgm, WriterRejectsInvalidImages) {
+  std::stringstream ss;
+  io::GrayImage empty;
+  EXPECT_THROW(io::write_pgm(empty, ss), std::runtime_error);
+  io::GrayImage mismatched{2, 2, 255, {1, 2, 3}};  // 3 pixels for a 2x2 image
+  EXPECT_THROW(io::write_pgm(mismatched, ss), std::runtime_error);
+  io::GrayImage overflow{1, 1, 10, {11}};  // sample above maxval
+  EXPECT_THROW(io::write_pgm(overflow, ss), std::runtime_error);
+}
+
+TEST(Ppm, RoundTrip) {
+  auto g = test::rng(21);
+  std::uniform_int_distribution<int> px(0, 255);
+  io::RgbImage img;
+  img.width = 19;
+  img.height = 13;
+  img.rgb.resize(std::size_t{img.width} * img.height * 3);
+  for (auto& b : img.rgb) b = static_cast<unsigned char>(px(g));
+  std::stringstream ss;
+  io::write_ppm(img, ss);
+  const io::RgbImage back = io::read_ppm(ss);
+  EXPECT_EQ(back.width, img.width);
+  EXPECT_EQ(back.height, img.height);
+  EXPECT_EQ(back.rgb, img.rgb);
+}
+
+TEST(Ppm, MalformedInputsThrow) {
+  const auto rejects = [](const std::string& data) {
+    std::stringstream ss(data);
+    EXPECT_THROW((void)io::read_ppm(ss), std::runtime_error) << "accepted: " << data;
+  };
+  rejects("P5\n1 1\n255\nx");        // PGM magic on the PPM reader
+  rejects("P6\n1 1\n65535\n");       // 16-bit PPM unsupported
+  rejects("P6\n1 1\n255\nxx");       // truncated (needs 3 bytes)
+  rejects("P6\n1\n255\nxxx");        // missing height
+}
+
+// ---------------------------------------------------------------------------
+// .asc writer round-trip (the third raster output container)
+// ---------------------------------------------------------------------------
+
+TEST(AscWriter, RoundTripsBitExactly) {
+  AscGrid g;
+  g.ncols = 5;
+  g.nrows = 3;
+  g.xll = 1234.5;
+  g.yll = -42.25;
+  g.cellsize = 2.5;
+  g.nodata = -9999.0;
+  g.cell_centered = true;
+  g.values = {0.5, 1.25, -9999.0, 3.0,  4.0,  5.5, 6.0, 7.75,
+              8.0, 9.0,  10.125,  11.0, 12.0, 13.5, 14.0};
+  std::stringstream ss;
+  save_asc_grid(g, ss);
+  const AscGrid back = load_asc_grid(ss);
+  EXPECT_EQ(back.ncols, g.ncols);
+  EXPECT_EQ(back.nrows, g.nrows);
+  EXPECT_EQ(back.xll, g.xll);
+  EXPECT_EQ(back.yll, g.yll);
+  EXPECT_EQ(back.cellsize, g.cellsize);
+  EXPECT_EQ(back.cell_centered, g.cell_centered);
+  ASSERT_TRUE(back.nodata.has_value());
+  EXPECT_EQ(*back.nodata, *g.nodata);
+  EXPECT_EQ(back.values, g.values);
+}
+
+TEST(AscWriter, MalformedInputsThrow) {
+  const auto rejects = [](const std::string& data) {
+    std::stringstream ss(data);
+    EXPECT_THROW((void)load_asc_grid(ss), std::runtime_error) << "accepted: " << data;
+  };
+  rejects("nrows 2\ncellsize 1\nxllcorner 0\nyllcorner 0\n1 2\n3 4\n");  // missing ncols
+  rejects("ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\n1 2 3 4\n");      // missing cellsize
+  rejects("ncols 2\nncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n1 2 3 4\n");
+  rejects("ncols 2\nnrows 2\nxllcorner 0\nyllcenter 0\ncellsize 1\n1 2 3 4\n");  // mixed origin
+  rejects("ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n1 2 3\n");    // short data
+  rejects("ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 1\n1 2 3 oops\n");
+  rejects("ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize -1\n1 2 3 4\n");
 }
 
 }  // namespace
