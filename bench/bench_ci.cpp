@@ -30,6 +30,7 @@
 
 #include "bench_util.hpp"
 #include "core/engine.hpp"
+#include "flat_json.hpp"
 #include "parallel/backend.hpp"
 #include "raster/raster.hpp"
 #include "shard/sharded_engine.hpp"
@@ -37,9 +38,8 @@
 namespace {
 
 using namespace thsr;
-
-using CounterMap = std::map<std::string, u64>;
-using CaseMap = std::map<std::string, CounterMap>;
+using bench::CaseMap;
+using bench::CounterMap;
 
 CounterMap to_counter_map(const Counters& c) {
   CounterMap m;
@@ -68,83 +68,6 @@ void write_json(const CaseMap& cases, const std::string& path) {
   }
   os << "  }\n}\n";
 }
-
-/// Minimal parser for the exact JSON shape write_json produces (flat
-/// two-level object of unsigned integers). Tolerant of whitespace; not a
-/// general JSON parser.
-class BaselineParser {
- public:
-  explicit BaselineParser(std::string text) : s_(std::move(text)) {}
-
-  std::optional<CaseMap> parse() {
-    CaseMap out;
-    if (!seek_key("cases") || !expect('{')) return std::nullopt;
-    skip_ws();
-    if (peek() == '}') return out;  // empty
-    for (;;) {
-      const auto name = parse_string();
-      if (!name || !expect(':') || !expect('{')) return std::nullopt;
-      CounterMap counters;
-      skip_ws();
-      if (peek() != '}') {
-        for (;;) {
-          const auto key = parse_string();
-          if (!key || !expect(':')) return std::nullopt;
-          const auto val = parse_u64();
-          if (!val) return std::nullopt;
-          counters[*key] = *val;
-          skip_ws();
-          if (peek() == ',') { ++i_; continue; }
-          break;
-        }
-      }
-      if (!expect('}')) return std::nullopt;
-      out[*name] = std::move(counters);
-      skip_ws();
-      if (peek() == ',') { ++i_; continue; }
-      break;
-    }
-    if (!expect('}')) return std::nullopt;
-    return out;
-  }
-
- private:
-  void skip_ws() {
-    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
-  }
-  char peek() { return i_ < s_.size() ? s_[i_] : '\0'; }
-  bool expect(char c) {
-    skip_ws();
-    if (peek() != c) return false;
-    ++i_;
-    return true;
-  }
-  std::optional<std::string> parse_string() {
-    if (!expect('"')) return std::nullopt;
-    std::string out;
-    while (i_ < s_.size() && s_[i_] != '"') out.push_back(s_[i_++]);
-    if (i_ >= s_.size()) return std::nullopt;
-    ++i_;  // closing quote
-    return out;
-  }
-  std::optional<u64> parse_u64() {
-    skip_ws();
-    if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
-    u64 v = 0;
-    while (std::isdigit(static_cast<unsigned char>(peek()))) v = v * 10 + (s_[i_++] - '0');
-    return v;
-  }
-  bool seek_key(const std::string& key) {
-    const std::string quoted = "\"" + key + "\"";
-    const auto pos = s_.find(quoted);
-    if (pos == std::string::npos) return false;
-    i_ = pos + quoted.size();
-    return expect(':');
-  }
-
-  std::string s_;
-  std::size_t i_ = 0;
-};
 
 /// Compare current counters against the baseline. Returns the number of
 /// failures (regressions beyond `tolerance_pct`, or lost cases/counters).
@@ -384,7 +307,7 @@ int main(int argc, char** argv) {
   }
   std::stringstream buf;
   buf << is.rdbuf();
-  BaselineParser parser(buf.str());
+  bench::FlatU64Parser parser(buf.str());
   const auto baseline = parser.parse();
   if (!baseline) {
     std::cerr << "bench_ci: cannot parse baseline " << check_path << "\n";

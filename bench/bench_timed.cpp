@@ -1,0 +1,300 @@
+/// bench_timed — wall-clock lane of the bench suite (DESIGN.md section 1.9).
+///
+/// bench_ci gates *what* the library computes (machine-independent work
+/// counters, bit-exact against a committed baseline); this driver measures
+/// *how fast*, which is inherently host-dependent and therefore never
+/// gated in CI — it produces an artifact, BENCH_TIMED.json, that humans
+/// (or `--diff`) compare across two runs on the *same* host. Protocol per
+/// case (bench/timing.hpp): pin the measuring thread, warm up untimed,
+/// then report the median of `--reps` timed repetitions with IQR and MAD
+/// dispersion. Cases cover the three solve surfaces whose speed the
+/// engine-reuse and flattened-treap work targets: warm HsrEngine solves,
+/// sharded solves, and rasterization — each on the serial backend at p=1
+/// and on the first scaling backend at p=4, so one artifact shows both the
+/// single-core cost and the parallel win.
+///
+/// Usage:
+///   bench_timed [--out BENCH_TIMED.json] [--reps 9] [--warmup 2]
+///               [--filter SUBSTR] [--quick] [--no-pin]
+///   bench_timed --diff OLD.json NEW.json
+///
+/// --quick drops to 3 reps / 1 warmup (the CI smoke configuration).
+/// --diff prints per-case median deltas of two artifacts and marks a delta
+/// significant only when it exceeds both runs' IQR — it never fails the
+/// build (exit 0 unless an artifact is unreadable).
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "flat_json.hpp"
+#include "parallel/backend.hpp"
+#include "raster/raster.hpp"
+#include "shard/sharded_engine.hpp"
+#include "timing.hpp"
+
+namespace {
+
+using namespace thsr;
+using bench::CaseMap;
+using bench::CounterMap;
+using bench::TimedStats;
+
+struct Config {
+  std::string out = "BENCH_TIMED.json";
+  int reps = 9;
+  int warmup = 2;
+  std::string filter;
+  bool pin = true;
+};
+
+/// The (backend, p) pairs every case family runs under. Serial/p1 is the
+/// single-core anchor; the first scaling backend (Pool, or OpenMP when it
+/// leads the build's list) at a fixed p=4 keeps case names stable across
+/// hosts — p beyond the core count just oversubscribes, which the host
+/// fingerprint in `meta` lets a reader discount.
+struct Lane {
+  par::Backend backend;
+  int threads;
+};
+
+std::vector<Lane> lanes() {
+  std::vector<Lane> out{{par::Backend::Serial, 1}};
+  const auto scaling = bench::scaling_backends();
+  if (!scaling.empty()) out.push_back({scaling.front(), 4});
+  return out;
+}
+
+std::string lane_suffix(const Lane& ln) {
+  return std::string("/") + par::backend_name(ln.backend) + "/p" + std::to_string(ln.threads);
+}
+
+bool selected(const Config& cfg, const std::string& name) {
+  return cfg.filter.empty() || name.find(cfg.filter) != std::string::npos;
+}
+
+void record(CaseMap& cases, const std::string& name, const TimedStats& s, const Lane& ln) {
+  CounterMap& m = cases[name];
+  m["median_ns"] = s.median_ns;
+  m["iqr_ns"] = s.iqr_ns;
+  m["mad_ns"] = s.mad_ns;
+  m["min_ns"] = s.min_ns;
+  m["reps"] = s.reps;
+  m["p"] = static_cast<u64>(ln.threads);
+  std::cout << "  " << name << ": median " << s.median_ns / 1000 << " us (iqr "
+            << s.iqr_ns / 1000 << " us, " << s.reps << " reps)\n";
+}
+
+/// Warm HsrEngine solves: prepare once, let the harness warmup be the cold
+/// solve that sizes the arena, then time steady-state solves — the path
+/// the arena-indexed treap flattening targets. Also stamps the retained
+/// arena footprint so artifacts track resident cost next to wall clock.
+void run_engine_cases(CaseMap& cases, const Config& cfg) {
+  const Terrain terr = bench::make(Family::Fbm, 48);
+  HsrEngine eng;
+  eng.prepare(terr);
+  struct Alg {
+    Algorithm algorithm;
+    const char* name;
+  };
+  for (const Alg alg :
+       {Alg{Algorithm::Parallel, "parallel"}, Alg{Algorithm::Sequential, "sequential"}}) {
+    for (const Lane& ln : lanes()) {
+      if (alg.algorithm == Algorithm::Sequential && ln.backend != par::Backend::Serial) {
+        continue;  // sequential never enters a parallel region; one lane suffices
+      }
+      const std::string name =
+          std::string("engine/fbm/g48/warm/") + alg.name + lane_suffix(ln);
+      if (!selected(cfg, name)) continue;
+      const HsrOptions opt{
+          .algorithm = alg.algorithm, .threads = ln.threads, .backend = ln.backend};
+      const TimedStats s = bench::measure(
+          [&] {
+            HsrResult r = eng.solve(opt);
+            eng.recycle(std::move(r));
+          },
+          cfg.warmup, cfg.reps);
+      record(cases, name, s, ln);
+      cases[name]["arena_footprint_bytes"] = eng.arena_footprint_bytes();
+    }
+  }
+
+  // Batch fan-out of three heterogeneous solves (the solve_batch path).
+  for (const Lane& ln : lanes()) {
+    const std::string name = std::string("engine/fbm/g48/batch3") + lane_suffix(ln);
+    if (!selected(cfg, name)) continue;
+    const std::vector<HsrOptions> opts{{.algorithm = Algorithm::Parallel},
+                                       {.algorithm = Algorithm::Sequential},
+                                       {.algorithm = Algorithm::Parallel,
+                                        .phase2_oracle = Phase2Oracle::MaterializedScan}};
+    const par::ScopedConfig scope(ln.threads, ln.backend);
+    const TimedStats s = bench::measure(
+        [&] {
+          auto results = eng.solve_batch(opts);
+          for (HsrResult& r : results) eng.recycle(std::move(r));
+        },
+        cfg.warmup, cfg.reps);
+    record(cases, name, s, ln);
+  }
+}
+
+/// Sharded solves: slab fan-out + stitch, the decomposition wall clock.
+void run_shard_cases(CaseMap& cases, const Config& cfg) {
+  const Terrain terr = bench::make(Family::Fbm, 48);
+  shard::ShardedEngine eng;
+  eng.prepare(terr, 8);
+  for (const Lane& ln : lanes()) {
+    const std::string name = std::string("shard/fbm/g48/s8") + lane_suffix(ln);
+    if (!selected(cfg, name)) continue;
+    const HsrOptions opt{
+        .algorithm = Algorithm::Parallel, .threads = ln.threads, .backend = ln.backend};
+    const TimedStats s = bench::measure([&] { (void)eng.solve(opt); }, cfg.warmup, cfg.reps);
+    record(cases, name, s, ln);
+  }
+}
+
+/// Rasterization of one solved map: the image-space product's wall clock.
+void run_raster_cases(CaseMap& cases, const Config& cfg) {
+  const Terrain terr = bench::make(Family::Fbm, 48);
+  HsrEngine eng;
+  eng.prepare(terr);
+  const HsrResult solved = eng.solve({.algorithm = Algorithm::Parallel, .threads = 1});
+  for (const Lane& ln : lanes()) {
+    const std::string name = std::string("raster/fbm/g48/r160s2") + lane_suffix(ln);
+    if (!selected(cfg, name)) continue;
+    raster::RasterOptions opt;
+    opt.width = 160;
+    opt.height = 120;
+    opt.supersample = 2;
+    opt.threads = ln.threads;
+    opt.backend = ln.backend;
+    const TimedStats s = bench::measure(
+        [&] { (void)raster::rasterize(terr, solved.map, opt); }, cfg.warmup, cfg.reps);
+    record(cases, name, s, ln);
+  }
+}
+
+std::optional<CaseMap> load_artifact(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "bench_timed: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << is.rdbuf();
+  bench::FlatU64Parser parser(buf.str());
+  auto cases = parser.parse();
+  if (!cases) std::cerr << "bench_timed: cannot parse " << path << "\n";
+  return cases;
+}
+
+/// Informational two-artifact comparison. A median delta only means
+/// something when it clears the noise floor of both runs, so a case is
+/// flagged `signif` when |delta| exceeds each run's IQR; everything else
+/// prints as noise. Never fails: timing is not a CI gate.
+int diff(const std::string& old_path, const std::string& new_path) {
+  const auto a = load_artifact(old_path);
+  const auto b = load_artifact(new_path);
+  if (!a || !b) return 1;
+  std::cout << "case, old median_ns, new median_ns, delta%, verdict\n";
+  for (const auto& [name, bc] : *b) {
+    const auto it = a->find(name);
+    if (it == a->end()) {
+      std::cout << name << ": only in " << new_path << "\n";
+      continue;
+    }
+    const auto get = [](const CounterMap& m, const char* k) -> u64 {
+      const auto i = m.find(k);
+      return i == m.end() ? 0 : i->second;
+    };
+    const u64 om = get(it->second, "median_ns");
+    const u64 nm = get(bc, "median_ns");
+    if (om == 0 || nm == 0) continue;
+    const double delta_pct =
+        100.0 * (static_cast<double>(nm) - static_cast<double>(om)) / static_cast<double>(om);
+    const u64 gap = nm > om ? nm - om : om - nm;
+    const bool signif = gap > get(it->second, "iqr_ns") && gap > get(bc, "iqr_ns");
+    std::cout << name << ", " << om << ", " << nm << ", " << Table::num(delta_pct, 2) << "%, "
+              << (signif ? (nm < om ? "signif faster" : "signif slower") : "noise") << "\n";
+  }
+  for (const auto& [name, _] : *a) {
+    if (!b->count(name)) std::cout << name << ": only in " << old_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--out") {
+      if (const char* v = next()) cfg.out = v;
+    } else if (arg == "--reps") {
+      if (const char* v = next()) cfg.reps = std::atoi(v);
+    } else if (arg == "--warmup") {
+      if (const char* v = next()) cfg.warmup = std::atoi(v);
+    } else if (arg == "--filter") {
+      if (const char* v = next()) cfg.filter = v;
+    } else if (arg == "--quick") {
+      cfg.reps = 3;
+      cfg.warmup = 1;
+    } else if (arg == "--no-pin") {
+      cfg.pin = false;
+    } else if (arg == "--diff") {
+      const char* a = next();
+      const char* b = next();
+      if (!a || !b) {
+        std::cerr << "usage: bench_timed --diff OLD.json NEW.json\n";
+        return 2;
+      }
+      return diff(a, b);
+    } else {
+      std::cerr << "usage: bench_timed [--out FILE] [--reps N] [--warmup N] [--filter SUBSTR] "
+                   "[--quick] [--no-pin] | --diff OLD.json NEW.json\n";
+      return 2;
+    }
+  }
+  if (cfg.reps < 1 || cfg.warmup < 0) {
+    std::cerr << "bench_timed: --reps must be >= 1 and --warmup >= 0\n";
+    return 2;
+  }
+
+  const bool pinned = cfg.pin && thsr::bench::pin_this_thread();
+  std::cout << "bench_timed: " << cfg.reps << " reps, " << cfg.warmup << " warmup, "
+            << (pinned ? "pinned" : "unpinned") << "\n";
+
+  CaseMap cases;
+  run_engine_cases(cases, cfg);
+  run_shard_cases(cases, cfg);
+  run_raster_cases(cases, cfg);
+
+  std::map<std::string, std::string> meta;
+  meta["git_sha"] = thsr::bench::git_sha();
+  meta["host"] = thsr::bench::host_fingerprint();
+  meta["pinned"] = pinned ? "1" : "0";
+  meta["reps"] = std::to_string(cfg.reps);
+  meta["warmup"] = std::to_string(cfg.warmup);
+  meta["timestamp"] = thsr::bench::utc_timestamp();
+  {
+    std::string names;
+    for (const Lane& ln : lanes()) {
+      if (!names.empty()) names += ",";
+      names += par::backend_name(ln.backend);
+      names += "/p" + std::to_string(ln.threads);
+    }
+    meta["lanes"] = names;
+  }
+
+  thsr::bench::write_timed_json(cases, meta, cfg.out);
+  std::cout << "wrote " << cases.size() << " cases to " << cfg.out << "\n";
+  return 0;
+}

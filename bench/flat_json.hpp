@@ -1,0 +1,98 @@
+#pragma once
+/// \file flat_json.hpp
+/// Parser for the one JSON shape the bench lane emits and re-reads: a
+/// top-level "cases" object mapping case names to flat objects of unsigned
+/// integers. bench_ci writes/checks counter baselines in this shape and
+/// bench_timed writes/diffs timing artifacts in it, so both sides share
+/// this reader instead of growing two JSON dialects. Tolerant of
+/// whitespace and of extra top-level keys (schema/note/meta are skipped by
+/// seeking "cases"); not a general JSON parser.
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "geometry/exactq.hpp"
+
+namespace thsr::bench {
+
+using CounterMap = std::map<std::string, u64>;
+using CaseMap = std::map<std::string, CounterMap>;
+
+class FlatU64Parser {
+ public:
+  explicit FlatU64Parser(std::string text) : s_(std::move(text)) {}
+
+  std::optional<CaseMap> parse() {
+    CaseMap out;
+    if (!seek_key("cases") || !expect('{')) return std::nullopt;
+    skip_ws();
+    if (peek() == '}') return out;  // empty
+    for (;;) {
+      const auto name = parse_string();
+      if (!name || !expect(':') || !expect('{')) return std::nullopt;
+      CounterMap counters;
+      skip_ws();
+      if (peek() != '}') {
+        for (;;) {
+          const auto key = parse_string();
+          if (!key || !expect(':')) return std::nullopt;
+          const auto val = parse_u64();
+          if (!val) return std::nullopt;
+          counters[*key] = *val;
+          skip_ws();
+          if (peek() == ',') { ++i_; continue; }
+          break;
+        }
+      }
+      if (!expect('}')) return std::nullopt;
+      out[*name] = std::move(counters);
+      skip_ws();
+      if (peek() == ',') { ++i_; continue; }
+      break;
+    }
+    if (!expect('}')) return std::nullopt;
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+  }
+  char peek() { return i_ < s_.size() ? s_[i_] : '\0'; }
+  bool expect(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+  std::optional<std::string> parse_string() {
+    if (!expect('"')) return std::nullopt;
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') out.push_back(s_[i_++]);
+    if (i_ >= s_.size()) return std::nullopt;
+    ++i_;  // closing quote
+    return out;
+  }
+  std::optional<u64> parse_u64() {
+    skip_ws();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
+    u64 v = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) v = v * 10 + (s_[i_++] - '0');
+    return v;
+  }
+  bool seek_key(const std::string& key) {
+    const std::string quoted = "\"" + key + "\"";
+    const auto pos = s_.find(quoted);
+    if (pos == std::string::npos) return false;
+    i_ = pos + quoted.size();
+    return expect(':');
+  }
+
+  std::string s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace thsr::bench

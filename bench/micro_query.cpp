@@ -19,7 +19,7 @@ struct Fixture {
   std::vector<u32> ids;
   Envelope env;
   PArena arena;
-  ptreap::Ref prof{nullptr};
+  ptreap::Ref prof;
   std::vector<Seg2> queries;
 
   explicit Fixture(std::size_t m) {

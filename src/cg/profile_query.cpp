@@ -40,13 +40,13 @@ struct Walker {
 
   // Leftmost piece of the subtree overlapping (from, to); full coverage
   // guarantees it exists whenever the overlap is non-empty.
-  const PieceData& leftmost(const PNode* t, const QY& olo) {
+  const PieceData& leftmost(ptreap::Ref t, const QY& olo) {
     const PieceData* p = ptreap::piece_at(t, olo, Side::After);
     THSR_CHECK(p != nullptr);
     return *p;
   }
 
-  void visit(const PNode* t, const QY& slo, const QY& shi) {
+  void visit(ptreap::Ref t, const QY& slo, const QY& shi) {
     if (!t) return;
     const QY olo = qmax(slo, from);
     const QY ohi = qmin(shi, to);
@@ -78,9 +78,9 @@ struct Walker {
       }
       return;
     }
-    visit(t->l, slo, t->piece.y0);
+    visit(t.left(), slo, t->piece.y0);
     do_piece(t->piece);
-    visit(t->r, t->piece.y1, shi);
+    visit(t.right(), t->piece.y1, shi);
   }
 };
 

@@ -167,6 +167,14 @@ u64 HsrEngine::arena_nodes() const noexcept { return impl_->ws.arena.node_count(
 
 u64 HsrEngine::arena_blocks() const noexcept { return impl_->ws.arena.allocated(); }
 
+u64 HsrEngine::arena_footprint_bytes() const noexcept {
+  Impl& im = *impl_;
+  u64 bytes = im.ws.arena.footprint_bytes();
+  std::lock_guard<std::mutex> lk(im.pool_mu);
+  for (const auto& ws : im.pool) bytes += ws->arena.footprint_bytes();
+  return bytes;
+}
+
 double HsrEngine::prepare_seconds() const noexcept { return impl_->order_s; }
 
 }  // namespace thsr

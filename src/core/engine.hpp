@@ -97,6 +97,12 @@ class HsrEngine {
   /// tests/test_engine.cpp and bench/micro_engine_reuse.
   u64 arena_blocks() const noexcept;
 
+  /// Bytes of persistent-node storage this engine retains across warm
+  /// solves (solve() workspace plus the batch workspace pool): the
+  /// per-engine resident footprint the timed bench lane reports — what
+  /// bounds how many warm engines one host can cache.
+  u64 arena_footprint_bytes() const noexcept;
+
   /// Wall-clock seconds the last prepare() took (amortized across solves).
   double prepare_seconds() const noexcept;
 

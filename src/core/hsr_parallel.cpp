@@ -219,7 +219,7 @@ VisibilityMap run_parallel(const HsrContext& ctx, Workspace& ws, HsrStats& stats
   PArena& arena = ws.arena;
   const u64 arena_base = arena.node_count();
   std::vector<ptreap::Ref>& inherited = ws.inherited;
-  inherited.assign(pct.size(), nullptr);
+  inherited.assign(pct.size(), ptreap::Ref{});
   inherited[pct.root()] = ptreap::make_floor(arena);
 
   // Layer counters: under a SerialRegion (a solve_batch item) the whole
@@ -237,8 +237,8 @@ VisibilityMap run_parallel(const HsrContext& ctx, Workspace& ws, HsrStats& stats
 
     const auto work_node = [&](u32 v, PhaseScratch& scratch) {
       const PctNode& nd = pct.node(v);
-      ptreap::Ref P = inherited[v];
-      THSR_DCHECK(P != nullptr);
+      const ptreap::Ref P = inherited[v];
+      THSR_DCHECK(bool(P));
       if (nd.leaf()) {
         process_leaf(ctx.order.order[nd.lo], P, ctx, map, scratch, oracle);
         return;

@@ -1,5 +1,6 @@
 #include "parallel/task_allocator.hpp"
 
+#include <atomic>
 #include <chrono>
 
 #include "parallel/backend.hpp"
@@ -19,8 +20,12 @@ double now_s() {
       .count();
 }
 
-void run_all(std::span<const u32> costs, Schedule sched) {
+/// Runs every task and returns how many ran — the completion count the
+/// report exposes (relaxed increments: the counter is read only after the
+/// parallel region joins).
+u64 run_all(std::span<const u32> costs, Schedule sched) {
   const i64 n = static_cast<i64>(costs.size());
+  std::atomic<u64> executed{0};
 #ifdef THSR_HAVE_OPENMP
   if (backend() == Backend::OpenMP) {
     switch (sched) {
@@ -30,8 +35,11 @@ void run_all(std::span<const u32> costs, Schedule sched) {
       case Schedule::Guided: omp_set_schedule(omp_sched_guided, 1); break;
     }
 #pragma omp parallel for schedule(runtime)
-    for (i64 i = 0; i < n; ++i) spin(costs[static_cast<std::size_t>(i)]);
-    return;
+    for (i64 i = 0; i < n; ++i) {
+      spin(costs[static_cast<std::size_t>(i)]);
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }
+    return executed.load(std::memory_order_relaxed);
   }
 #endif
   // Pool / Serial backends: the pool's dynamic-chunk loop, with the chunk
@@ -47,12 +55,16 @@ void run_all(std::span<const u32> costs, Schedule sched) {
     case Schedule::Dynamic: chunk = 1; break;
     case Schedule::Guided: chunk = std::max<i64>(1, n / (4 * p)); break;
   }
-  auto body = [&](i64 i) { spin(costs[static_cast<std::size_t>(i)]); };
+  auto body = [&](i64 i) {
+    spin(costs[static_cast<std::size_t>(i)]);
+    executed.fetch_add(1, std::memory_order_relaxed);
+  };
   if (backend() == Backend::Pool && p > 1 && !pool::on_worker()) {
     detail::pool_parallel_for(n, body, /*grain=*/1, chunk);
-    return;
+    return executed.load(std::memory_order_relaxed);
   }
   for (i64 i = 0; i < n; ++i) body(i);
+  return executed.load(std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -75,12 +87,12 @@ AllocReport run_synthetic_tasks(std::span<const u32> costs, int p, Schedule sche
   const int prev = max_threads();
   set_threads(1);
   double t0 = now_s();
-  run_all(costs, Schedule::StaticBlock);
+  (void)run_all(costs, Schedule::StaticBlock);
   r.serial_s = now_s() - t0;
 
   set_threads(p);
   t0 = now_s();
-  run_all(costs, sched);
+  r.executed = run_all(costs, sched);
   r.wall_s = now_s() - t0;
   set_threads(prev);
 

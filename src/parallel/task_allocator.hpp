@@ -24,6 +24,11 @@ struct AllocReport {
   double overhead_s{0};  ///< wall_s - ideal_s (the t_{p,N} analogue)
   u64 tasks{0};
   u64 total_cost{0};
+  /// Tasks the measured (parallel) pass actually ran — always equals
+  /// `tasks` when the schedule dispatched correctly. The deterministic
+  /// completion condition tests assert instead of wall-clock ratios, which
+  /// are meaningless under sanitizers or on oversubscribed hosts.
+  u64 executed{0};
 };
 
 /// Run tasks whose cost is a spin of `costs[i]` iterations under `sched`

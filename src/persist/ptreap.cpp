@@ -12,13 +12,14 @@ namespace thsr {
 // ---------------------------------------------------------------------------
 
 struct PArena::Block {
-  static constexpr std::size_t kNodes = 1 << 14;
-  std::unique_ptr<PNode[]> mem{new PNode[kNodes]};
+  explicit Block(u32 block_id) : id(block_id) {}
+  const u32 id;  ///< block-table slot; fixed for the block's lifetime
+  std::unique_ptr<PNode[]> mem{new PNode[kBlockNodes]};
 };
 
 struct PArena::ThreadSlot {
-  Block* current{nullptr};
-  std::size_t used{Block::kNodes};  // force a fresh block on first alloc
+  u32 base{0};                      ///< current block's id << kLog2BlockNodes
+  std::size_t used{kBlockNodes};    ///< force a fresh block on first alloc
   std::atomic<u64> allocated{0};
 };
 
@@ -26,6 +27,8 @@ u64 PArena::next_id() noexcept {
   static std::atomic<u64> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+PArena::PArena() : table_(new PNode*[kMaxBlocks]) {}
 
 PArena::~PArena() {
   for (Block* b : blocks_) delete b;
@@ -51,9 +54,9 @@ PArena::ThreadSlot& PArena::local_slot() {
   return *fresh;
 }
 
-PNode* PArena::alloc() {
+u32 PArena::alloc() {
   ThreadSlot& s = local_slot();
-  if (s.used == Block::kNodes) {
+  if (s.used == kBlockNodes) {
     Block* b = nullptr;
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -61,16 +64,18 @@ PNode* PArena::alloc() {
         b = free_.back();
         free_.pop_back();
       } else {
-        b = new Block();
+        THSR_CHECK(blocks_.size() < kMaxBlocks);
+        b = new Block(static_cast<u32>(blocks_.size()));
+        table_[b->id] = b->mem.get();  // write-once: the slot never moves
         blocks_.push_back(b);
       }
     }
-    s.current = b;
+    s.base = b->id << kLog2BlockNodes;
     s.used = 0;
   }
   s.allocated.fetch_add(1, std::memory_order_relaxed);
   work::count(Op::TreapNode);
-  return &s.current->mem[s.used++];
+  return s.base | static_cast<u32>(s.used++);
 }
 
 void PArena::reset() {
@@ -79,8 +84,8 @@ void PArena::reset() {
   // with everything else, and the owning threads re-acquire blocks on
   // their next alloc(). Callers guarantee no alloc() runs concurrently.
   for (ThreadSlot* s : slots_) {
-    s->current = nullptr;
-    s->used = Block::kNodes;
+    s->base = 0;
+    s->used = kBlockNodes;
   }
   free_ = blocks_;
 }
@@ -95,6 +100,11 @@ u64 PArena::node_count() const noexcept {
 u64 PArena::allocated() const noexcept {
   std::lock_guard<std::mutex> lk(mu_);
   return blocks_.size();
+}
+
+u64 PArena::footprint_bytes() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return blocks_.size() * (sizeof(Block) + sizeof(PNode) * kBlockNodes);
 }
 
 // ---------------------------------------------------------------------------
@@ -118,83 +128,82 @@ u64 content_prio(const PieceData& p) noexcept {
 
 // Total order on priorities; "greater" wins the root (ties broken by content
 // so the shape is a pure function of the piece set).
-bool prio_less(const PNode* a, const PNode* b) noexcept {
-  if (a->prio != b->prio) return a->prio < b->prio;
-  if (a->piece.edge != b->piece.edge) return a->piece.edge < b->piece.edge;
-  return cmp(a->piece.y0, b->piece.y0) < 0;
+bool prio_less(const PNode& a, const PNode& b) noexcept {
+  if (a.prio != b.prio) return a.prio < b.prio;
+  if (a.piece.edge != b.piece.edge) return a.piece.edge < b.piece.edge;
+  return cmp(a.piece.y0, b.piece.y0) < 0;
 }
 
 float widen_lo(double v) noexcept { return static_cast<float>(v - 0.5); }
 float widen_hi(double v) noexcept { return static_cast<float>(v + 0.5); }
 
-PNode* make(PArena& a, const PNode* l, const PNode* r, const PieceData& p,
-            std::span<const Seg2> segs) {
-  PNode* n = a.alloc();
-  n->l = l;
-  n->r = r;
-  n->piece = p;
-  n->prio = content_prio(p);
-  n->count = 1 + (l ? l->count : 0) + (r ? r->count : 0);
+Ref make(PArena& a, Ref l, Ref r, const PieceData& p, std::span<const Seg2> segs) {
+  const u32 i = a.alloc();
+  PNode& n = a.node_mut(i);
+  n.l = l.index();
+  n.r = r.index();
+  n.piece = p;
+  n.prio = content_prio(p);
+  n.count = 1 + (l ? l->count : 0) + (r ? r->count : 0);
   const Seg2& s = resolve_seg(segs, p.edge);
   const double z0 = s.approx_at(p.y0), z1 = s.approx_at(p.y1);
-  n->zlo = widen_lo(std::min(z0, z1));
-  n->zhi = widen_hi(std::max(z0, z1));
+  n.zlo = widen_lo(std::min(z0, z1));
+  n.zhi = widen_hi(std::max(z0, z1));
   if (l) {
-    n->zlo = std::min(n->zlo, l->zlo);
-    n->zhi = std::max(n->zhi, l->zhi);
+    n.zlo = std::min(n.zlo, l->zlo);
+    n.zhi = std::max(n.zhi, l->zhi);
   }
   if (r) {
-    n->zlo = std::min(n->zlo, r->zlo);
-    n->zhi = std::max(n->zhi, r->zhi);
+    n.zlo = std::min(n.zlo, r->zlo);
+    n.zhi = std::max(n.zhi, r->zhi);
   }
-  return n;
+  return Ref(&a, i);
 }
 
 // Rebuild a path-copy of `t` with new children (same piece => same prio).
-PNode* rebuild(PArena& a, const PNode* t, const PNode* l, const PNode* r,
-               std::span<const Seg2> segs) {
+Ref rebuild(PArena& a, Ref t, Ref l, Ref r, std::span<const Seg2> segs) {
   return make(a, l, r, t->piece, segs);
 }
 
 Ref join(PArena& a, Ref x, Ref y, std::span<const Seg2> segs) {
   if (!x) return y;
   if (!y) return x;
-  if (prio_less(y, x)) return rebuild(a, x, x->l, join(a, x->r, y, segs), segs);
-  return rebuild(a, y, join(a, x, y->l, segs), y->r, segs);
+  if (prio_less(*y, *x)) return rebuild(a, x, x.left(), join(a, x.right(), y, segs), segs);
+  return rebuild(a, y, join(a, x, y.left(), segs), y.right(), segs);
 }
 
 Ref leaf(PArena& a, const PieceData& p, std::span<const Seg2> segs) {
   THSR_DCHECK(p.y0 < p.y1);
-  return make(a, nullptr, nullptr, p, segs);
+  return make(a, Ref{}, Ref{}, p, segs);
 }
 
 // Split by start key: L gets pieces with y0 < y, R the rest (no cutting).
 void split_key(PArena& a, Ref t, const QY& y, Ref& l, Ref& r, std::span<const Seg2> segs) {
   if (!t) {
-    l = r = nullptr;
+    l = r = Ref{};
     return;
   }
   if (cmp(t->piece.y0, y) < 0) {
-    Ref rl = nullptr;
-    split_key(a, t->r, y, rl, r, segs);
-    l = rebuild(a, t, t->l, rl, segs);
+    Ref rl;
+    split_key(a, t.right(), y, rl, r, segs);
+    l = rebuild(a, t, t.left(), rl, segs);
   } else {
-    Ref lr = nullptr;
-    split_key(a, t->l, y, l, lr, segs);
-    r = rebuild(a, t, lr, t->r, segs);
+    Ref lr;
+    split_key(a, t.left(), y, l, lr, segs);
+    r = rebuild(a, t, lr, t.right(), segs);
   }
 }
 
 // Remove the maximum-key piece; returns the remaining tree via `rest`.
 PieceData remove_last(PArena& a, Ref t, Ref& rest, std::span<const Seg2> segs) {
-  THSR_CHECK(t != nullptr);
-  if (!t->r) {
-    rest = t->l;
+  THSR_CHECK(bool(t));
+  if (!t.right()) {
+    rest = t.left();
     return t->piece;
   }
-  Ref rr = nullptr;
-  const PieceData p = remove_last(a, t->r, rr, segs);
-  rest = rebuild(a, t, t->l, rr, segs);
+  Ref rr;
+  const PieceData p = remove_last(a, t.right(), rr, segs);
+  rest = rebuild(a, t, t.left(), rr, segs);
   return p;
 }
 
@@ -203,10 +212,10 @@ void split_at(PArena& a, Ref t, const QY& y, Ref& l, Ref& r, std::span<const Seg
   split_key(a, t, y, l, r, segs);
   if (!l) return;
   // The last piece of L may straddle y.
-  Ref rest = nullptr;
+  Ref rest;
   // Peek cheaply: descend to max.
   Ref m = l;
-  while (m->r) m = m->r;
+  while (m.right()) m = m.right();
   if (cmp(m->piece.y1, y) <= 0) return;  // no straddle
   const PieceData p = remove_last(a, l, rest, segs);
   l = rest;
@@ -221,7 +230,7 @@ Ref make_floor(PArena& a) {
 }
 
 Ref from_pieces(PArena& a, std::span<const PieceData> pieces, std::span<const Seg2> segs) {
-  Ref t = nullptr;
+  Ref t;
   for (const PieceData& p : pieces) t = join(a, t, leaf(a, p, segs), segs);
   return t;
 }
@@ -229,11 +238,11 @@ Ref from_pieces(PArena& a, std::span<const PieceData> pieces, std::span<const Se
 Ref replace_range(PArena& a, Ref t, const QY& lo, const QY& hi, std::span<const PieceData> run,
                   std::span<const Seg2> segs) {
   THSR_DCHECK(lo < hi);
-  Ref left = nullptr, mid = nullptr, middle_right = nullptr, right = nullptr;
+  Ref left, mid, middle_right, right;
   split_at(a, t, lo, left, mid, segs);
   split_at(a, mid, hi, middle_right, right, segs);
   (void)middle_right;  // covered interior of the old version: dropped wholesale
-  Ref run_t = nullptr;
+  Ref run_t;
   for (const PieceData& p : run) {
     THSR_DCHECK(cmp(p.y0, lo) >= 0 && cmp(p.y1, hi) <= 0);
     run_t = join(a, run_t, leaf(a, p, segs), segs);
@@ -247,11 +256,11 @@ const PieceData* piece_at(Ref t, const QY& y, Side side) noexcept {
     const int c0 = cmp(y, p.y0);
     const int c1 = cmp(y, p.y1);
     const bool inside = side == Side::After ? (c0 >= 0 && c1 < 0) : (c0 > 0 && c1 <= 0);
-    if (inside) return &t->piece;
+    if (inside) return &p;
     if (side == Side::After ? c0 < 0 : c0 <= 0) {
-      t = t->l;
+      t = t.left();
     } else {
-      t = t->r;
+      t = t.right();
     }
   }
   return nullptr;
@@ -261,9 +270,9 @@ u32 count(Ref t) noexcept { return t ? t->count : 0; }
 
 void collect(Ref t, std::vector<PieceData>& out) {
   if (!t) return;
-  collect(t->l, out);
+  collect(t.left(), out);
   out.push_back(t->piece);
-  collect(t->r, out);
+  collect(t.right(), out);
 }
 
 Envelope materialize(Ref t, bool drop_floor) {
@@ -288,13 +297,13 @@ namespace {
 void validate_rec(Ref t, std::span<const Seg2> segs, const QY*& prev_end, u64 max_prio_seen) {
   if (!t) return;
   THSR_CHECK(t->prio <= max_prio_seen || max_prio_seen == ~u64{0});
-  validate_rec(t->l, segs, prev_end, t->prio);
+  validate_rec(t.left(), segs, prev_end, t->prio);
   THSR_CHECK(t->piece.y0 < t->piece.y1);
   if (prev_end) THSR_CHECK(*prev_end == t->piece.y0);  // contiguity (full coverage)
   const Seg2& s = resolve_seg(segs, t->piece.edge);
   THSR_CHECK(cmp(t->piece.y0, s.u0) >= 0 && cmp(t->piece.y1, s.u1) <= 0);
   prev_end = &t->piece.y1;
-  validate_rec(t->r, segs, prev_end, t->prio);
+  validate_rec(t.right(), segs, prev_end, t->prio);
 }
 
 }  // namespace

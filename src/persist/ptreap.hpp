@@ -4,7 +4,7 @@
 /// paper's persistent visibility structure (its reference [6], Driscoll–
 /// Sarnak–Sleator–Tarjan). Phase 2 of the algorithm materializes many prefix
 /// profiles P_0 … P_n that share almost all of their structure (Figure 3 of
-/// the paper); here each profile is an immutable version (a root pointer)
+/// the paper); here each profile is an immutable version (a root reference)
 /// and every update path-copies O(log) nodes, leaving all published versions
 /// readable concurrently (the CREW discipline).
 ///
@@ -19,6 +19,21 @@
 /// terrain vertex). Full coverage lets queries derive exact subtree spans
 /// from ancestor keys alone — no per-node coverage storage — and makes the
 /// conservative z-box pruning in cg/profile_query.cpp sound.
+///
+/// **Node layout (DESIGN.md section 1.9).** Nodes are not heap objects:
+/// they live in the fixed-size blocks of a PArena and children are 32-bit
+/// *arena indices* (block number * block capacity + offset), not pointers.
+/// A version is a ptreap::Ref — (arena, root index) — and every descent
+/// resolves children through the arena's write-once block table. Compared
+/// with the previous two-pointer layout this shrinks the node (the child
+/// slots drop from 16 bytes to 8, and the node packs to 112 bytes instead
+/// of 128 under the 16-byte QY alignment), keeps sibling allocations in
+/// the same block after an arena reset, and caps a version's footprint so
+/// one host can hold more warm engines (Kammer et al., space-efficient
+/// HSR, PAPERS.md). The flattening is purely representational: the same
+/// make/join/split sequence runs node for node, so maps, shapes, and all
+/// work counters stay bit-identical to the pointer layout
+/// (tests/test_treap_property.cpp pins this against a pointer-based shim).
 
 #include <memory>
 #include <mutex>
@@ -51,33 +66,61 @@ struct PieceData {
   u32 edge{kFloorEdge};
 };
 
-/// Immutable persistent node. Fields are written once at construction and
-/// never mutated after the node becomes reachable from a published version.
+/// Nil child / root sentinel for arena node indices.
+inline constexpr u32 kNilNode = 0xffffffffu;
+
+/// Immutable persistent node, indexed — not addressed — through its arena.
+/// Fields are written once at construction and never mutated after the node
+/// becomes reachable from a published version. `l`/`r` are arena indices
+/// (kNilNode = empty); keeping them 32-bit is what packs the node to 112
+/// bytes under QY's 16-byte alignment.
 struct PNode {
-  const PNode* l{nullptr};
-  const PNode* r{nullptr};
   PieceData piece;
-  u64 prio{0};        ///< content hash (shape determinism)
-  u32 count{1};       ///< subtree piece count
+  u64 prio{0};           ///< content hash (shape determinism)
+  u32 l{kNilNode};       ///< left child arena index
+  u32 r{kNilNode};       ///< right child arena index
+  u32 count{1};          ///< subtree piece count
   float zlo{0}, zhi{0};  ///< conservative subtree z-range (outward-rounded)
 };
 
-/// Bump allocator for persistent nodes. Thread-safe: each thread fills its
-/// own blocks; the arena owns all memory until destruction (versions are
-/// only valid while their arena lives).
+/// Bump allocator for persistent nodes, addressed by 32-bit index.
+/// Thread-safe: each thread fills its own blocks; the arena owns all memory
+/// until destruction (versions are only valid while their arena lives).
 ///
 /// An arena is reusable across runs: reset() retains every block it ever
 /// allocated and rewinds the bump pointers, so a rebuild that fits in the
 /// prior footprint performs zero heap allocations (allocated() is the churn
-/// metric a warm HsrEngine::solve is gated on).
+/// metric a warm HsrEngine::solve is gated on). Block-table slots are
+/// assigned once per heap block and never move, so node(i) needs no lock:
+/// any index a reader holds was published to it across a fork-join edge
+/// that ordered the block-table write first.
 class PArena {
  public:
-  PArena() = default;
+  /// Nodes per block and the index split: index = block_id << kLog2BlockNodes | offset.
+  static constexpr u32 kLog2BlockNodes = 14;
+  static constexpr u32 kBlockNodes = 1u << kLog2BlockNodes;
+  /// Block-table capacity: 2^12 blocks * 2^14 nodes = 2^26 nodes per arena,
+  /// far beyond any solve while keeping the write-once table at 32 KiB.
+  static constexpr u32 kMaxBlocks = 1u << 12;
+
+  PArena();
   PArena(const PArena&) = delete;
   PArena& operator=(const PArena&) = delete;
   ~PArena();
 
-  PNode* alloc();
+  /// Allocate one node; returns its arena index.
+  u32 alloc();
+
+  /// The node at `idx` (read-only: published nodes are immutable).
+  const PNode& node(u32 idx) const noexcept {
+    return table_[idx >> kLog2BlockNodes][idx & (kBlockNodes - 1)];
+  }
+
+  /// Construction-time access for the node most recently alloc()ed by this
+  /// thread (before its index is published to any other thread).
+  PNode& node_mut(u32 idx) noexcept {
+    return table_[idx >> kLog2BlockNodes][idx & (kBlockNodes - 1)];
+  }
 
   /// Recycle the arena: every version ever allocated from it becomes
   /// invalid, all blocks are retained on a free list, and subsequent
@@ -94,6 +137,10 @@ class PArena {
   /// allocation-churn metric of tests/test_treap.cpp and bench_ci.
   u64 allocated() const noexcept;
 
+  /// Bytes of node storage this arena retains (blocks * block size): the
+  /// resident-footprint gauge of the timed bench lane.
+  u64 footprint_bytes() const noexcept;
+
  private:
   struct Block;
   struct ThreadSlot;
@@ -103,7 +150,8 @@ class PArena {
   std::vector<Block*> blocks_;  ///< every block ever allocated (owned)
   std::vector<Block*> free_;    ///< retained blocks awaiting reuse
   std::vector<ThreadSlot*> slots_;
-  const u64 id_{next_id()};  ///< unique per arena, never recycled
+  std::unique_ptr<PNode*[]> table_;  ///< block id -> node storage (write-once slots)
+  const u64 id_{next_id()};          ///< unique per arena, never recycled
 
   static u64 next_id() noexcept;
 };
@@ -112,7 +160,31 @@ class PArena {
 /// inputs: they return new roots and never mutate reachable nodes.
 namespace ptreap {
 
-using Ref = const PNode*;
+/// A version handle: the owning arena plus a 32-bit root index. Refs are
+/// trivially copyable values; a default-constructed Ref is the empty tree.
+/// Dereference (`->`, `*`) yields the root PNode; left()/right() descend.
+class Ref {
+ public:
+  constexpr Ref() = default;
+  constexpr Ref(const PArena* a, u32 idx) noexcept : a_(a), idx_(idx) {}
+
+  constexpr explicit operator bool() const noexcept { return idx_ != kNilNode; }
+  const PNode& operator*() const noexcept { return a_->node(idx_); }
+  const PNode* operator->() const noexcept { return &a_->node(idx_); }
+  Ref left() const noexcept { return Ref(a_, (*this)->l); }
+  Ref right() const noexcept { return Ref(a_, (*this)->r); }
+
+  constexpr u32 index() const noexcept { return idx_; }
+  constexpr const PArena* arena() const noexcept { return a_; }
+
+  friend constexpr bool operator==(const Ref& a, const Ref& b) noexcept {
+    return a.idx_ == b.idx_ && (a.idx_ == kNilNode || a.a_ == b.a_);
+  }
+
+ private:
+  const PArena* a_{nullptr};
+  u32 idx_{kNilNode};
+};
 
 /// The initial profile P_0: just the floor.
 Ref make_floor(PArena& a);

@@ -250,5 +250,74 @@ TEST(AscWriter, MalformedInputsThrow) {
   rejects("ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize -1\n1 2 3 4\n");
 }
 
+// ---------------------------------------------------------------------------
+// terrain_from_asc limits: the kMaxAscGrid auto-stride budget and NODATA
+// degeneracies
+// ---------------------------------------------------------------------------
+
+/// ncols x nrows grid of gently varying NODATA-free heights.
+AscGrid synthetic_grid(u32 ncols, u32 nrows) {
+  AscGrid g;
+  g.ncols = ncols;
+  g.nrows = nrows;
+  g.cellsize = 1.0;
+  g.values.reserve(static_cast<std::size_t>(ncols) * nrows);
+  for (u32 r = 0; r < nrows; ++r) {
+    for (u32 c = 0; c < ncols; ++c) g.values.push_back(static_cast<double>((r + c) % 7));
+  }
+  return g;
+}
+
+u32 auto_stride_of(u32 ncols, u32 nrows) {
+  AscMapping m;
+  (void)terrain_from_asc(synthetic_grid(ncols, nrows), {}, &m);
+  return m.stride;
+}
+
+TEST(AscTerrain, AutoStrideBudgetBoundary) {
+  // stride = smallest s with (max(ncols,nrows)-1)/s + 1 <= kMaxAscGrid, so
+  // the budget boundary sits exactly at kMaxAscGrid source columns:
+  //   180 -> 1 (180 samples, at budget)   181 -> 2 (91 samples)
+  //   360 -> 2 (180 samples, at budget)   361 -> 3 (121 samples)
+  EXPECT_EQ(auto_stride_of(kMaxAscGrid, 2), 1u);
+  EXPECT_EQ(auto_stride_of(kMaxAscGrid + 1, 3), 2u);
+  EXPECT_EQ(auto_stride_of(2 * kMaxAscGrid, 4), 2u);
+  EXPECT_EQ(auto_stride_of(2 * kMaxAscGrid + 1, 4), 3u);
+
+  // Sampled extents and georeferencing follow the chosen stride.
+  AscMapping m;
+  (void)terrain_from_asc(synthetic_grid(kMaxAscGrid + 1, 3), {}, &m);
+  EXPECT_EQ(m.cols, (kMaxAscGrid + 1 - 1) / 2 + 1);
+  EXPECT_EQ(m.rows, 2u);
+  EXPECT_EQ(m.cellsize, 2.0);
+}
+
+TEST(AscTerrain, ExplicitStrideOverBudgetThrows) {
+  // An explicit stride is honored, not clamped: leaving the sampled grid
+  // over the kMaxAscGrid budget (or under 2 rows/cols) must throw, never
+  // silently resample.
+  EXPECT_THROW((void)terrain_from_asc(synthetic_grid(kMaxAscGrid + 1, 3), {.stride = 1}),
+               std::runtime_error);
+  EXPECT_THROW((void)terrain_from_asc(synthetic_grid(8, 2), {.stride = 2}),
+               std::runtime_error);  // 2 rows stride to 1
+}
+
+TEST(AscTerrain, NodataOnlyGridThrows) {
+  AscGrid g = synthetic_grid(4, 4);
+  g.nodata = -9999.0;
+  for (double& v : g.values) v = -9999.0;
+  EXPECT_THROW((void)terrain_from_asc(g), std::runtime_error);
+
+  // A single data cell short of a full 2x2 block is still untriangulable.
+  AscGrid holes = synthetic_grid(4, 4);
+  holes.nodata = -9999.0;
+  for (u32 r = 0; r < 4; ++r) {
+    for (u32 c = 0; c < 4; ++c) {
+      if ((r + c) % 2 == 0) holes.values[static_cast<std::size_t>(r) * 4 + c] = -9999.0;
+    }
+  }
+  EXPECT_THROW((void)terrain_from_asc(holes), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace thsr

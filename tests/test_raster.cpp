@@ -117,6 +117,46 @@ TEST(Raster, BitIdenticalAcrossBackendsAndThreads) {
   }
 }
 
+// kMaxRasterAxis caps width*supersample and height*supersample so depth
+// comparisons stay inside i128 (raster.hpp). The cap is a THSR_CHECK on
+// the public entry points — regression-test both the rejection (abort)
+// and that the exact boundary value is still accepted.
+TEST(RasterLimitsDeathTest, RejectsAxisBeyondCap) {
+  // threadsafe: the solve above may have spawned pool workers, and a plain
+  // fork with live threads is what the "fast" style warns about.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Terrain t = gen(Family::Fbm, 8);
+  const HsrResult r = hidden_surface_removal(t);
+  EXPECT_DEATH(
+      (void)raster::rasterize(t, r.map, {.width = raster::kMaxRasterAxis + 1, .height = 4}),
+      "kMaxRasterAxis");
+  EXPECT_DEATH(
+      (void)raster::rasterize(t, r.map, {.width = 4, .height = raster::kMaxRasterAxis + 1}),
+      "kMaxRasterAxis");
+  // The product with supersampling is what the cap bounds, not width alone.
+  EXPECT_DEATH((void)raster::rasterize(t, r.map,
+                                       {.width = raster::kMaxRasterAxis / 2 + 1,
+                                        .height = 4,
+                                        .supersample = 2}),
+               "kMaxRasterAxis");
+  // The ray-cast oracle enforces the same contract.
+  EXPECT_DEATH(
+      (void)raster::raycast_reference(t, {.width = raster::kMaxRasterAxis + 1, .height = 4}),
+      "kMaxRasterAxis");
+}
+
+TEST(RasterLimits, AcceptsAxisAtCapExactly) {
+  const Terrain t = gen(Family::Fbm, 8);
+  const HsrResult r = hidden_surface_removal(t);
+  const ImageRaster img =
+      raster::rasterize(t, r.map, {.width = raster::kMaxRasterAxis, .height = 2});
+  EXPECT_EQ(img.width, raster::kMaxRasterAxis);
+  EXPECT_EQ(img.samples, u64{raster::kMaxRasterAxis} * 2);
+  const ImageRaster ss = raster::rasterize(
+      t, r.map, {.width = raster::kMaxRasterAxis / 2, .height = 2, .supersample = 2});
+  EXPECT_EQ(ss.samples, u64{raster::kMaxRasterAxis} * 2 * 2);
+}
+
 TEST(Raster, ShardedEqualsMonolithic) {
   for (const Family f : {Family::Fbm, Family::TerraceBack}) {
     const Terrain t = gen(f, 14);

@@ -156,8 +156,8 @@ TEST(PTreap, ShapeIsHistoryIndependent) {
       [&](ptreap::Ref t, std::vector<std::pair<u32, QY>>& out) {
         if (!t) return;
         out.emplace_back(t->piece.edge, t->piece.y0);
-        preorder(t->l, out);
-        preorder(t->r, out);
+        preorder(t.left(), out);
+        preorder(t.right(), out);
       };
   std::vector<std::pair<u32, QY>> p1, p2;
   preorder(t1, p1);
