@@ -1,9 +1,12 @@
 /// bench_ci — counter-only perf-regression driver for CI.
 ///
 /// Runs the counter-relevant workloads of benches E1 (Theorem 3.1 work
-/// bound), E3 (schedule-independence), and E12 (phase-2 oracle ablation)
-/// once each — no timing repetitions — and records the machine-independent
-/// work_depth counters as JSON. Because every grain/strip decision in the
+/// bound), E3 (schedule-independence), and E12 (phase-2 oracle ablation),
+/// plus the engine-reuse (engine/*), sharded (shard/*), raster (raster/*),
+/// and viewpoint-service (service/* — cached parameterized solves hard-
+/// gated bit-identical to direct solves of the pre-transformed terrain)
+/// case families, once each — no timing repetitions — and records the
+/// machine-independent work_depth counters as JSON. Because every grain/strip decision in the
 /// library is pinned to constants (see kEnvMergeStrips), the counters are
 /// bit-identical across machines, thread counts, and backends, so a
 /// committed baseline (bench/baselines/BENCH_BASELINE.json) can gate
@@ -33,6 +36,7 @@
 #include "flat_json.hpp"
 #include "parallel/backend.hpp"
 #include "raster/raster.hpp"
+#include "service/engine_cache.hpp"
 #include "shard/sharded_engine.hpp"
 
 namespace {
@@ -236,6 +240,80 @@ int run_raster_cases(CaseMap& cases) {
   return failures;
 }
 
+/// Serving-layer workloads (DESIGN.md section 1.10): viewpoint-
+/// parameterized solves through the engine cache. Counter cases gate the
+/// post-transform solve work against the baseline; a built-in hard gate
+/// asserts the cache path — cold miss, warm hit, and the order-transfer
+/// rung — is bitwise identical (visibility map AND work counters) to a
+/// direct solve of the pre-transformed terrain. The direct solve runs at
+/// threads=2 while the cache path runs scoped-serial, so the gate also
+/// re-enforces identity across thread counts on every CI run. Returns the
+/// number of gate failures.
+int run_service_cases(CaseMap& cases) {
+  using service::Viewpoint;
+  const auto terr = std::make_shared<const Terrain>(bench::make(Family::Fbm, 48));
+  // One viewpoint per reuse-ladder rung plus rotated/general azimuths
+  // (Pythagorean pairs keep magnitudes small; all admissible for g48).
+  const std::vector<std::pair<std::string, Viewpoint>> vps = {
+      {"identity", Viewpoint{}},
+      {"el1-3", Viewpoint{.elev_num = 1, .elev_den = 3}},
+      {"az0-1", Viewpoint{.dir_x = 0, .dir_y = 1}},
+      {"az3-4", Viewpoint{.dir_x = 3, .dir_y = 4}},
+      {"az4-3el1-4", Viewpoint{.dir_x = 4, .dir_y = -3, .elev_num = 1, .elev_den = 4}},
+  };
+  const auto expect_same = [](const HsrResult& got, const HsrResult& want,
+                              const std::string& name, const char* label) -> int {
+    const auto diff = want.map.first_difference(got.map);
+    if (diff.has_value()) {
+      std::cout << "FAIL  " << name << ": " << label << " map differs from direct solve at edge "
+                << *diff << "\n";
+      return 1;
+    }
+    if (!(got.stats.work == want.stats.work)) {
+      std::cout << "FAIL  " << name << ": " << label << " work counters differ from direct solve\n";
+      return 1;
+    }
+    return 0;
+  };
+  service::EngineCache cache;
+  cache.add_terrain(1, terr);
+  int failures = 0;
+  for (const auto& [label, vp] : vps) {
+    const std::string name = "service/fbm/g48/" + label;
+    if (!service::admissible(vp, terr->max_abs_coord())) {
+      std::cout << "FAIL  " << name << ": viewpoint inadmissible for this terrain\n";
+      ++failures;
+      continue;
+    }
+    const Terrain direct_terrain = service::transform_terrain(*terr, vp);
+    const HsrResult direct = hidden_surface_removal(
+        direct_terrain, {.algorithm = Algorithm::Parallel, .threads = 2});
+    const HsrOptions scoped{.algorithm = Algorithm::Parallel};
+    const HsrResult cold = cache.acquire(1, vp)->solve_scoped(scoped);
+    bool hit = false;
+    const HsrResult warm = cache.acquire(1, vp, &hit)->solve_scoped(scoped);
+    failures += expect_same(cold, direct, name, "cold cache solve");
+    failures += expect_same(warm, direct, name, "warm cache solve");
+    if (!hit) {
+      std::cout << "FAIL  " << name << ": second acquire was not a cache hit\n";
+      ++failures;
+    }
+    cases[name] = to_counter_map(direct.stats.work);
+    cases[name]["k_pieces"] = direct.stats.k_pieces;
+    cases[name]["treap_nodes"] = direct.stats.treap_nodes;
+    cases[name]["phase1_pieces"] = direct.stats.phase1_pieces;
+  }
+  // The cache's own counters are deterministic for this schedule: one miss
+  // + one hit per viewpoint, and the shear transfers the identity entry's
+  // depth order. Baseline-gated like any other counters.
+  const service::EngineCache::Stats cs = cache.stats();
+  cases["service/fbm/g48/cache"] = CounterMap{{"hits", cs.hits},
+                                              {"misses", cs.misses},
+                                              {"order_transfers", cs.order_transfers},
+                                              {"resident_entries", cs.resident_entries}};
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,9 +365,12 @@ int main(int argc, char** argv) {
   // Raster products: baseline cases + the sharded-equality image gate.
   const int raster_failures = run_raster_cases(cases);
 
+  // Viewpoint service: baseline cases + the cache-vs-direct identity gate.
+  const int service_failures = run_service_cases(cases);
+
   write_json(cases, out_path);
   std::cout << "wrote " << cases.size() << " cases to " << out_path << "\n";
-  const int gate_failures = shard_failures + raster_failures;
+  const int gate_failures = shard_failures + raster_failures + service_failures;
   if (shard_failures) {
     // Reported now, but keep going: a single run should surface both this
     // and any baseline regressions below.
@@ -297,6 +378,9 @@ int main(int argc, char** argv) {
   }
   if (raster_failures) {
     std::cout << raster_failures << " sharded-raster equality violation(s)\n";
+  }
+  if (service_failures) {
+    std::cout << service_failures << " service cache-vs-direct identity violation(s)\n";
   }
 
   if (check_path.empty()) return gate_failures ? 1 : 0;

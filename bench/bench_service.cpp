@@ -1,0 +1,277 @@
+/// bench_service — latency/throughput lane for the serving layer
+/// (src/service/, DESIGN.md section 1.10).
+///
+/// Drives synthetic query streams at a long-running QueryServer and turns
+/// the per-reply latencies into BENCH_SERVICE.json: p50/p99/min/max
+/// submit-to-completion latency, solve-only p50, and queries/sec, plus the
+/// cache counters that explain them (hits, misses, order transfers,
+/// evictions). Wall-clock numbers are host-dependent and never gated; what
+/// CI *does* gate is the service contract — the run fails (exit 1) if any
+/// query is dropped or errors, so the artifact doubles as a soak test of
+/// the queue/cache machinery under real concurrency.
+///
+/// Traffic is open-loop per pattern: producers submit without waiting for
+/// replies, throttled only by the bounded queue (block_when_full, so a
+/// slow server back-pressures instead of dropping). Three patterns:
+///   hot    — a handful of viewpoints on one terrain; steady-state is all
+///            cache hits (serving-floor latency).
+///   churn  — every query a fresh viewpoint under a small byte budget;
+///            steady-state is all misses + evictions (prepare-dominated).
+///   mixed  — 80% hot / 20% fresh (deterministic RNG), the realistic mix.
+///
+/// Usage:
+///   bench_service [--out BENCH_SERVICE.json] [--queries N] [--workers N]
+///                 [--producers N] [--budget-mb N] [--grid N]
+///                 [--pattern hot|churn|mixed|all] [--quick] [--allow-drops]
+///
+/// --quick shrinks the stream and grid to the CI soak configuration.
+/// --allow-drops downgrades the zero-drop/zero-error gate to a report
+/// (for experiments with block_when_full disabled or tiny queues).
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/query_server.hpp"
+#include "timing.hpp"
+
+namespace {
+
+using namespace thsr;
+using service::Query;
+using service::QueryReply;
+using service::QueryServer;
+using service::QueryStatus;
+using service::Viewpoint;
+
+struct Config {
+  std::string out = "BENCH_SERVICE.json";
+  int queries = 400;
+  int workers = 4;
+  int producers = 2;
+  u64 budget_mb = 256;
+  u32 grid = 24;
+  std::string pattern = "all";
+  bool allow_drops = false;
+};
+
+/// The hot set: one viewpoint per reuse-ladder rung, all admissible for
+/// the bench grids.
+const std::vector<Viewpoint>& hot_viewpoints() {
+  static const std::vector<Viewpoint> vps = {
+      Viewpoint{},
+      Viewpoint{.elev_num = 1, .elev_den = 3},
+      Viewpoint{.dir_x = 0, .dir_y = 1},
+      Viewpoint{.dir_x = 3, .dir_y = 4},
+  };
+  return vps;
+}
+
+/// A churn-stream viewpoint: azimuth from a small fixed set (R <= 3) and
+/// elevation slope 1/den with den walked through [2, den_max], where
+/// den_max is the largest denominator the terrain's width budget admits
+/// (DESIGN.md section 1.10: (den + R)·M <= kMaxCoord). Slopes 1/den are
+/// already canonical, so consecutive k yield distinct cache keys until
+/// the (4 * (den_max - 1))-key space wraps.
+Viewpoint fresh_viewpoint(int k, i64 den_max) {
+  static const std::vector<std::pair<i64, i64>> azimuths = {{1, 0}, {0, 1}, {2, -1}, {1, 1}};
+  const auto& az = azimuths[static_cast<std::size_t>(k) % azimuths.size()];
+  const i64 span = std::max<i64>(den_max - 1, 1);
+  const i64 den = 2 + (static_cast<i64>(k) / static_cast<i64>(azimuths.size())) % span;
+  return Viewpoint{.dir_x = az.first, .dir_y = az.second, .elev_num = 1, .elev_den = den};
+}
+
+/// Largest churn denominator the terrain admits: den + R <= kMaxCoord / M
+/// with R <= 3 in the azimuth set above.
+i64 churn_den_max(const Terrain& t) {
+  const i64 m = std::max<i64>(t.max_abs_coord(), 1);
+  return std::max<i64>(kMaxCoord / m - 3, 2);
+}
+
+struct RunResult {
+  bench::TimedCounterMap counters;
+  u64 dropped{0};
+  u64 errors{0};
+};
+
+/// One pattern's full run: fresh server, open-loop producers, rank stats
+/// over every reply's latency.
+RunResult run_pattern(const Config& cfg, const std::string& pattern,
+                      const std::shared_ptr<const Terrain>& terr) {
+  QueryServer server({.workers = cfg.workers,
+                      .queue_capacity = 256,
+                      .block_when_full = true,
+                      .cache = {.byte_budget = cfg.budget_mb << 20}});
+  server.add_terrain(1, terr);
+
+  std::mutex mu;
+  std::vector<u64> latency_ns;
+  std::vector<u64> solve_ns;
+  latency_ns.reserve(static_cast<std::size_t>(cfg.queries));
+  solve_ns.reserve(static_cast<std::size_t>(cfg.queries));
+  const auto record = [&](QueryReply&& r) {
+    const std::lock_guard<std::mutex> lk(mu);
+    if (r.status == QueryStatus::Ok) {
+      latency_ns.push_back(r.latency_ns);
+      solve_ns.push_back(r.solve_ns);
+    }
+  };
+
+  // Warm the hot set outside the timed window so `hot` measures steady
+  // state, not first-touch prepares.
+  if (pattern != "churn") {
+    for (const Viewpoint& vp : hot_viewpoints()) (void)server.cache().acquire(1, vp);
+  }
+
+  const i64 den_max = churn_den_max(*terr);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<std::size_t>(cfg.producers));
+  for (int p = 0; p < cfg.producers; ++p) {
+    producers.emplace_back([&, p] {
+      // Deterministic per-producer stream; `fresh` ids are disjoint across
+      // producers so churn never accidentally repeats a key.
+      std::mt19937_64 rng(0x5eedULL + static_cast<u64>(p));
+      std::uniform_int_distribution<int> pct(0, 99);
+      const int n = cfg.queries / cfg.producers + (p < cfg.queries % cfg.producers ? 1 : 0);
+      for (int q = 0; q < n; ++q) {
+        const int fresh_id = p + cfg.producers * q;
+        Viewpoint vp;
+        if (pattern == "hot") {
+          vp = hot_viewpoints()[static_cast<std::size_t>(pct(rng)) % hot_viewpoints().size()];
+        } else if (pattern == "churn") {
+          vp = fresh_viewpoint(fresh_id, den_max);
+        } else {  // mixed
+          vp = pct(rng) < 80
+                   ? hot_viewpoints()[static_cast<std::size_t>(pct(rng)) % hot_viewpoints().size()]
+                   : fresh_viewpoint(fresh_id, den_max);
+        }
+        (void)server.submit(Query{.terrain_id = 1, .viewpoint = vp,
+                                  .tag = static_cast<u64>(fresh_id)},
+                            record);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  server.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+  const u64 wall_ns = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+
+  const QueryServer::Stats s = server.stats();
+  const service::EngineCache::Stats cs = server.cache_stats();
+  const bench::TimedStats lat = bench::stats_of(latency_ns);
+  const bench::TimedStats slv = bench::stats_of(solve_ns);
+  std::vector<u64> sorted = latency_ns;
+  std::sort(sorted.begin(), sorted.end());
+
+  RunResult out;
+  out.dropped = s.dropped;
+  out.errors = s.errors;
+  out.counters = bench::TimedCounterMap{
+      {"queries", s.completed},
+      {"dropped", s.dropped},
+      {"errors", s.errors},
+      {"p50_ns", lat.median_ns},
+      {"p99_ns", bench::rank_at(sorted, 0.99)},
+      {"min_ns", lat.min_ns},
+      {"max_ns", sorted.empty() ? 0 : sorted.back()},
+      {"iqr_ns", lat.iqr_ns},
+      {"solve_p50_ns", slv.median_ns},
+      {"qps", wall_ns == 0 ? 0 : s.completed * 1'000'000'000ull / wall_ns},
+      {"wall_ms", wall_ns / 1'000'000ull},
+      {"cache_hits", cs.hits},
+      {"cache_misses", cs.misses},
+      {"order_transfers", cs.order_transfers},
+      {"evictions", cs.evictions},
+      {"resident_bytes", cs.resident_bytes},
+  };
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--out") {
+      if (const char* v = next()) cfg.out = v;
+    } else if (arg == "--queries") {
+      if (const char* v = next()) cfg.queries = std::atoi(v);
+    } else if (arg == "--workers") {
+      if (const char* v = next()) cfg.workers = std::atoi(v);
+    } else if (arg == "--producers") {
+      if (const char* v = next()) cfg.producers = std::atoi(v);
+    } else if (arg == "--budget-mb") {
+      if (const char* v = next()) cfg.budget_mb = static_cast<u64>(std::atoll(v));
+    } else if (arg == "--grid") {
+      if (const char* v = next()) cfg.grid = static_cast<u32>(std::atoi(v));
+    } else if (arg == "--pattern") {
+      if (const char* v = next()) cfg.pattern = v;
+    } else if (arg == "--quick") {
+      cfg.queries = 120;
+      cfg.grid = 16;
+      cfg.workers = 2;
+    } else if (arg == "--allow-drops") {
+      cfg.allow_drops = true;
+    } else {
+      std::cerr << "usage: bench_service [--out FILE] [--queries N] [--workers N] "
+                   "[--producers N] [--budget-mb N] [--grid N] "
+                   "[--pattern hot|churn|mixed|all] [--quick] [--allow-drops]\n";
+      return 2;
+    }
+  }
+
+  const auto terr = std::make_shared<const Terrain>(bench::make(Family::Fbm, cfg.grid));
+  std::vector<std::string> patterns;
+  if (cfg.pattern == "all") {
+    patterns = {"hot", "churn", "mixed"};
+  } else {
+    patterns = {cfg.pattern};
+  }
+
+  bench::TimedCaseMap cases;
+  u64 dropped = 0, errors = 0;
+  for (const std::string& p : patterns) {
+    // churn under a deliberately small budget so eviction is exercised.
+    Config run_cfg = cfg;
+    if (p == "churn") run_cfg.budget_mb = std::min<u64>(cfg.budget_mb, 2);
+    RunResult r = run_pattern(run_cfg, p, terr);
+    dropped += r.dropped;
+    errors += r.errors;
+    const std::string name =
+        p + "/fbm/g" + std::to_string(cfg.grid) + "/w" + std::to_string(cfg.workers);
+    std::cout << name << ": p50 " << r.counters["p50_ns"] / 1000 << "us  p99 "
+              << r.counters["p99_ns"] / 1000 << "us  qps " << r.counters["qps"] << "  hits "
+              << r.counters["cache_hits"] << "/" << r.counters["queries"] << "  evictions "
+              << r.counters["evictions"] << "\n";
+    cases[name] = std::move(r.counters);
+  }
+
+  bench::write_timed_json(cases,
+                          {{"bench", "bench_service"},
+                           {"host", bench::host_fingerprint()},
+                           {"git_sha", bench::git_sha()},
+                           {"timestamp_utc", bench::utc_timestamp()},
+                           {"workers", std::to_string(cfg.workers)},
+                           {"producers", std::to_string(cfg.producers)},
+                           {"queries_per_pattern", std::to_string(cfg.queries)}},
+                          cfg.out);
+  std::cout << "wrote " << cases.size() << " cases to " << cfg.out << "\n";
+
+  if (dropped != 0 || errors != 0) {
+    std::cout << "service contract violation: " << dropped << " dropped, " << errors
+              << " errored quer(ies)\n";
+    if (!cfg.allow_drops) return 1;
+  }
+  return 0;
+}

@@ -194,37 +194,30 @@ std::optional<CaseMap> load_artifact(const std::string& path) {
   return cases;
 }
 
-/// Informational two-artifact comparison. A median delta only means
-/// something when it clears the noise floor of both runs, so a case is
-/// flagged `signif` when |delta| exceeds each run's IQR; everything else
-/// prints as noise. Never fails: timing is not a CI gate.
+/// Informational two-artifact comparison, keyed strictly by case name
+/// (bench::diff_rows — reordered or disjoint case sets pair up correctly).
+/// A median delta only means something when it clears the noise floor of
+/// both runs, so a case is flagged `signif` when |delta| exceeds each
+/// run's IQR; everything else prints as noise. Never fails: timing is not
+/// a CI gate.
 int diff(const std::string& old_path, const std::string& new_path) {
   const auto a = load_artifact(old_path);
   const auto b = load_artifact(new_path);
   if (!a || !b) return 1;
   std::cout << "case, old median_ns, new median_ns, delta%, verdict\n";
-  for (const auto& [name, bc] : *b) {
-    const auto it = a->find(name);
-    if (it == a->end()) {
-      std::cout << name << ": only in " << new_path << "\n";
-      continue;
+  for (const bench::DiffRow& row : bench::diff_rows(*a, *b)) {
+    if (row.presence == bench::DiffRow::Presence::OnlyNew) {
+      std::cout << row.name << ": only in " << new_path << "\n";
+    } else if (row.presence == bench::DiffRow::Presence::OnlyOld) {
+      std::cout << row.name << ": only in " << old_path << "\n";
+    } else if (row.comparable) {
+      std::cout << row.name << ", " << row.old_median_ns << ", " << row.new_median_ns << ", "
+                << Table::num(row.delta_pct, 2) << "%, "
+                << (row.significant
+                        ? (row.new_median_ns < row.old_median_ns ? "signif faster" : "signif slower")
+                        : "noise")
+                << "\n";
     }
-    const auto get = [](const CounterMap& m, const char* k) -> u64 {
-      const auto i = m.find(k);
-      return i == m.end() ? 0 : i->second;
-    };
-    const u64 om = get(it->second, "median_ns");
-    const u64 nm = get(bc, "median_ns");
-    if (om == 0 || nm == 0) continue;
-    const double delta_pct =
-        100.0 * (static_cast<double>(nm) - static_cast<double>(om)) / static_cast<double>(om);
-    const u64 gap = nm > om ? nm - om : om - nm;
-    const bool signif = gap > get(it->second, "iqr_ns") && gap > get(bc, "iqr_ns");
-    std::cout << name << ", " << om << ", " << nm << ", " << Table::num(delta_pct, 2) << "%, "
-              << (signif ? (nm < om ? "signif faster" : "signif slower") : "noise") << "\n";
-  }
-  for (const auto& [name, _] : *a) {
-    if (!b->count(name)) std::cout << name << ": only in " << old_path << "\n";
   }
   return 0;
 }

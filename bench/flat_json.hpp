@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "geometry/exactq.hpp"
 
@@ -94,5 +95,70 @@ class FlatU64Parser {
   std::string s_;
   std::size_t i_ = 0;
 };
+
+/// One row of a two-artifact timing comparison (bench_timed --diff and the
+/// CI trend step). Rows are produced for the *union* of case names.
+struct DiffRow {
+  enum class Presence : unsigned char { Both, OnlyOld, OnlyNew };
+  std::string name;
+  Presence presence{Presence::Both};
+  u64 old_median_ns{0};      ///< 0 unless present in the old artifact
+  u64 new_median_ns{0};      ///< 0 unless present in the new artifact
+  double delta_pct{0.0};     ///< (new - old) / old, percent; Both rows only
+  bool comparable{false};    ///< both medians present and nonzero
+  bool significant{false};   ///< |delta| clears the IQR noise floor of BOTH runs
+};
+
+/// Compare two timing artifacts *by case name* — never by position — so
+/// reordered, interleaved, or partially disjoint case sets pair up
+/// correctly (tests/test_bench_diff.cpp). A delta is `significant` only
+/// when it exceeds both runs' IQR; cases present on one side only get
+/// OnlyOld/OnlyNew rows. Output is sorted by name (CaseMap order).
+inline std::vector<DiffRow> diff_rows(const CaseMap& old_cases, const CaseMap& new_cases) {
+  const auto get = [](const CounterMap& m, const char* k) -> u64 {
+    const auto i = m.find(k);
+    return i == m.end() ? 0 : i->second;
+  };
+  std::vector<DiffRow> rows;
+  auto oi = old_cases.begin();
+  auto ni = new_cases.begin();
+  while (oi != old_cases.end() || ni != new_cases.end()) {
+    DiffRow row;
+    const bool take_old =
+        ni == new_cases.end() || (oi != old_cases.end() && oi->first < ni->first);
+    const bool take_new =
+        oi == old_cases.end() || (ni != new_cases.end() && ni->first < oi->first);
+    if (take_old) {
+      row.name = oi->first;
+      row.presence = DiffRow::Presence::OnlyOld;
+      row.old_median_ns = get(oi->second, "median_ns");
+      ++oi;
+    } else if (take_new) {
+      row.name = ni->first;
+      row.presence = DiffRow::Presence::OnlyNew;
+      row.new_median_ns = get(ni->second, "median_ns");
+      ++ni;
+    } else {  // same name on both sides
+      row.name = oi->first;
+      row.old_median_ns = get(oi->second, "median_ns");
+      row.new_median_ns = get(ni->second, "median_ns");
+      if (row.old_median_ns != 0 && row.new_median_ns != 0) {
+        row.comparable = true;
+        row.delta_pct = 100.0 *
+                        (static_cast<double>(row.new_median_ns) -
+                         static_cast<double>(row.old_median_ns)) /
+                        static_cast<double>(row.old_median_ns);
+        const u64 gap = row.new_median_ns > row.old_median_ns
+                            ? row.new_median_ns - row.old_median_ns
+                            : row.old_median_ns - row.new_median_ns;
+        row.significant = gap > get(oi->second, "iqr_ns") && gap > get(ni->second, "iqr_ns");
+      }
+      ++oi;
+      ++ni;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
 
 }  // namespace thsr::bench

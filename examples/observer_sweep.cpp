@@ -1,0 +1,89 @@
+/// observer_sweep — the serving layer in one sitting (src/service/,
+/// DESIGN.md section 1.10): sweep an observer around a terrain through a
+/// ring of exact integer azimuths, answering every viewpoint through a
+/// QueryServer, then show what the engine cache saved on a second pass.
+///
+///   ./observer_sweep [grid=32] [workers=4]
+///
+/// Every solve is exact: a parameterized solve is bit-identical to solving
+/// the pre-transformed terrain directly, so the sweep's piece counts are
+/// reproducible anywhere, down to the counter.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "service/query_server.hpp"
+#include "terrain/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace thsr;
+  using service::Query;
+  using service::QueryReply;
+  using service::QueryServer;
+  using service::QueryStatus;
+  using service::Viewpoint;
+
+  GenOptions gen;
+  gen.family = Family::Fbm;
+  gen.grid = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 32;
+  gen.seed = 7;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  const auto terrain = std::make_shared<const Terrain>(make_terrain(gen));
+  std::cout << "terrain: " << terrain->vertex_count() << " vertices, " << terrain->edge_count()
+            << " edges, |coord| <= " << terrain->max_abs_coord() << "\n";
+
+  // A ring of exact azimuths: the four axis directions, the diagonals, and
+  // the Pythagorean 3-4-5 directions — 12 viewpoints, each elevated 1/4.
+  std::vector<Viewpoint> ring;
+  for (const auto& [dx, dy] : std::vector<std::pair<i64, i64>>{
+           {1, 0}, {3, 4}, {1, 1}, {4, 3}, {0, 1}, {-3, 4}, {-1, 1}, {-4, 3},
+           {-1, 0}, {-1, -1}, {0, -1}, {1, -1}}) {
+    const Viewpoint vp{.dir_x = dx, .dir_y = dy, .elev_num = 1, .elev_den = 4};
+    if (service::admissible(vp, terrain->max_abs_coord())) ring.push_back(vp);
+  }
+  std::cout << "sweeping " << ring.size() << " admissible viewpoints with " << workers
+            << " workers\n\n";
+
+  QueryServer server({.workers = workers});
+  server.add_terrain(1, terrain);
+
+  int errors = 0;
+  const auto sweep = [&](const char* label) {
+    std::map<u64, QueryReply> replies;
+    std::mutex mu;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      server.submit(Query{.terrain_id = 1, .viewpoint = ring[i], .tag = i},
+                    [&replies, &mu](QueryReply&& r) {
+                      const std::lock_guard<std::mutex> lk(mu);
+                      replies.emplace(r.tag, std::move(r));
+                    });
+    }
+    server.drain();
+    std::cout << label << ":\n";
+    for (const auto& [tag, r] : replies) {
+      const Viewpoint& vp = ring[tag];
+      if (r.status != QueryStatus::Ok) {
+        std::cout << "  (" << vp.dir_x << "," << vp.dir_y << "): ERROR " << r.error << "\n";
+        ++errors;
+        continue;
+      }
+      std::cout << "  dir=(" << vp.dir_x << "," << vp.dir_y
+                << ") k_pieces=" << r.result->stats.k_pieces << " visible_len=" << std::fixed
+                << r.result->map.visible_length() << (r.cache_hit ? "  [cache hit, " : "  [cold, ")
+                << r.latency_ns / 1000000.0 << " ms]\n";
+    }
+  };
+
+  sweep("cold pass (every viewpoint prepares an engine)");
+  sweep("\nwarm pass (every viewpoint is resident)");
+
+  const auto cs = server.cache_stats();
+  std::cout << "\ncache: " << cs.hits << " hits, " << cs.misses << " misses, "
+            << cs.order_transfers << " depth-order transfers, " << cs.resident_bytes / 1024
+            << " KiB resident across " << cs.resident_entries << " engines\n";
+  return errors == 0 ? 0 : 1;
+}

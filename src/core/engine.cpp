@@ -2,6 +2,7 @@
 
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "core/detail.hpp"
@@ -97,6 +98,17 @@ HsrEngine::~HsrEngine() = default;
 HsrEngine::HsrEngine(HsrEngine&&) noexcept = default;
 HsrEngine& HsrEngine::operator=(HsrEngine&&) noexcept = default;
 
+namespace {
+
+/// Evict the previous terrain's derived state; keep the raw memory.
+void recycle_workspace(detail::Workspace& ws) {
+  ws.arena.reset();
+  ws.env.clear();
+  ws.inherited.clear();
+}
+
+}  // namespace
+
 void HsrEngine::prepare(const Terrain& t) {
   Impl& im = *impl_;
   work::reset();
@@ -105,11 +117,76 @@ void HsrEngine::prepare(const Terrain& t) {
   im.ctx = detail::make_context(t);
   im.order_s = order_timer.seconds();
   im.prepare_work = scope.delta();
-  // Evict the previous terrain's derived state; keep the raw memory.
-  im.ws.arena.reset();
-  im.ws.env.clear();
-  im.ws.inherited.clear();
+  recycle_workspace(im.ws);
   im.prepared = true;
+}
+
+void HsrEngine::prepare_scoped(const Terrain& t) {
+  Impl& im = *impl_;
+  const par::SerialRegion serial;  // whole preparation inline on this thread
+  const Counters before = work::local_snapshot();
+  detail::Timer order_timer;
+  im.ctx = detail::make_context(t);
+  im.order_s = order_timer.seconds();
+  Counters delta = work::local_snapshot();
+  delta -= before;
+  im.prepare_work = delta;
+  recycle_workspace(im.ws);
+  im.prepared = true;
+}
+
+void HsrEngine::prepare_with_order_of(const Terrain& t, const HsrEngine& base) {
+  Impl& im = *impl_;
+  const Impl& bi = *base.impl_;
+  THSR_CHECK(bi.prepared);
+  const Terrain& bt = *bi.ctx.terrain;
+  const bool same_shape = t.vertex_count() == bt.vertex_count() &&
+                          t.triangle_count() == bt.triangle_count() &&
+                          t.edge_count() == bt.edge_count();
+  bool same_ground = same_shape;
+  if (same_shape) {
+    for (u32 i = 0; same_ground && i < t.vertex_count(); ++i) {
+      const Vertex3 &a = t.vertex(i), &b = bt.vertex(i);
+      same_ground = a.x == b.x && a.y == b.y;
+    }
+    for (std::size_t i = 0; same_ground && i < t.triangle_count(); ++i) {
+      const Triangle &a = t.triangles()[i], &b = bt.triangles()[i];
+      same_ground = a.a == b.a && a.b == b.b && a.c == b.c;
+    }
+  }
+  if (!same_ground) {
+    throw std::invalid_argument(
+        "prepare_with_order_of: terrains differ in topology or ground projection");
+  }
+  // Ground projections agree, so the sliver classification and the depth
+  // order — functions of ground coordinates only — transfer verbatim; only
+  // the image-plane segment table depends on the new heights. The PCT is
+  // left for the usual lazy build (a pure function of the edge count).
+  detail::Timer order_timer;
+  detail::HsrContext ctx;
+  ctx.terrain = &t;
+  const auto n = static_cast<u32>(t.edge_count());
+  ctx.segs.resize(n, Seg2{0, 0, 1, 0});
+  ctx.is_sliver = bi.ctx.is_sliver;
+  ctx.n_slivers = bi.ctx.n_slivers;
+  ctx.order = bi.ctx.order;
+  for (u32 e = 0; e < n; ++e) {
+    if (!ctx.is_sliver[e]) ctx.segs[e] = t.image_segment(e);
+  }
+  im.ctx = std::move(ctx);
+  im.order_s = order_timer.seconds();
+  // Depth ordering counts only ground-coordinate operations, so the work a
+  // fresh preparation of `t` would have counted is exactly what base
+  // counted (tests/test_service.cpp pins this equality).
+  im.prepare_work = bi.prepare_work;
+  recycle_workspace(im.ws);
+  im.prepared = true;
+}
+
+void HsrEngine::ensure_parallel_ready() {
+  Impl& im = *impl_;
+  THSR_CHECK(im.prepared);
+  ensure_pct(im.ctx, HsrOptions{.algorithm = Algorithm::Parallel});
 }
 
 bool HsrEngine::prepared() const noexcept { return impl_->prepared; }

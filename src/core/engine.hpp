@@ -28,9 +28,14 @@
 /// *and* work counters — to a one-shot `hidden_surface_removal()` with the
 /// same options (tests/test_engine.cpp). Reuse changes wall clock only.
 ///
-/// Threading: an engine instance is not thread-safe; drive it from one
-/// thread at a time (solve_batch parallelizes internally). The prepared
-/// terrain must outlive every solve against it.
+/// Threading: preparation and solve() are single-caller operations — drive
+/// them from one thread at a time (solve_batch parallelizes internally).
+/// solve_scoped() is the exception: once a prepared engine's PCT is built
+/// (ensure_parallel_ready(), or any completed solve), concurrent
+/// solve_scoped calls on the *same* engine are safe — the context is read
+/// read-only and every call leases its own workspace, which is exactly how
+/// solve_batch and the serving layer (src/service/) fan solves out. The
+/// prepared terrain must outlive every solve against it.
 
 #include <memory>
 #include <span>
@@ -56,6 +61,36 @@ class HsrEngine {
   /// previously prepared terrain; retained scratch memory is recycled, not
   /// freed.
   void prepare(const Terrain& t);
+
+  /// prepare() for engines built while *other* threads are mid-solve (the
+  /// serving layer's cache-miss path, src/service/engine_cache.hpp): the
+  /// whole preparation runs inline on the calling thread under a
+  /// par::SerialRegion with thread-local counter attribution — no global
+  /// counter reset, so concurrent solve_scoped calls on other engines keep
+  /// exact counters. The cached context, and every later solve against it,
+  /// is bit-identical to prepare()'s (tests/test_service.cpp).
+  void prepare_scoped(const Terrain& t);
+
+  /// Prepare for `t` by *transferring* the solve-independent context of
+  /// `base` where it is still valid: when `t` has the same triangles and
+  /// the identical ground projection as base's terrain (e.g. the image of
+  /// a ground-preserving viewpoint shear, service/viewpoint.hpp), the
+  /// sliver classification and the depth order — the expensive part of
+  /// preparation — carry over verbatim, and only the image-plane segment
+  /// table is rebuilt from t's heights. Counter-exact: the transferred
+  /// prepare work equals what recomputation would have counted, because
+  /// depth ordering reads only ground coordinates (asserted in
+  /// tests/test_service.cpp). Runs scoped (thread-local attribution) like
+  /// prepare_scoped(). Throws std::invalid_argument when `t` and base's
+  /// terrain differ in topology or ground projection.
+  void prepare_with_order_of(const Terrain& t, const HsrEngine& base);
+
+  /// Build the lazily constructed PCT skeleton now (idempotent; a pure
+  /// uncounted function of the edge count). Call once before sharing this
+  /// engine across concurrently running solve_scoped callers — the lazy
+  /// in-solve build is unsynchronized by design (solve_batch pre-builds
+  /// internally; external fan-outs like the query server do it here).
+  void ensure_parallel_ready();
 
   bool prepared() const noexcept;
   const Terrain* terrain() const noexcept;

@@ -1,0 +1,109 @@
+/// bench::diff_rows contract (bench/flat_json.hpp): two-artifact timing
+/// comparisons are keyed by case *name*, never by position — reordered
+/// artifact text, interleaved names, and partially disjoint case sets must
+/// all pair up correctly — and significance requires the delta to clear
+/// the IQR noise floor of both runs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "flat_json.hpp"
+
+namespace thsr::bench {
+namespace {
+
+CaseMap parse_or_die(const std::string& text) {
+  auto cases = FlatU64Parser(text).parse();
+  EXPECT_TRUE(cases.has_value()) << text;
+  return cases.value_or(CaseMap{});
+}
+
+const DiffRow* find_row(const std::vector<DiffRow>& rows, const std::string& name) {
+  for (const DiffRow& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+TEST(BenchDiff, PairsByNameNotByPosition) {
+  // The same three cases in opposite textual order: every row must still
+  // compare a case against its own namesake.
+  const CaseMap oldc = parse_or_die(R"({"cases": {
+    "alpha": {"median_ns": 100, "iqr_ns": 1},
+    "beta":  {"median_ns": 200, "iqr_ns": 1},
+    "gamma": {"median_ns": 300, "iqr_ns": 1}}})");
+  const CaseMap newc = parse_or_die(R"({"cases": {
+    "gamma": {"median_ns": 300, "iqr_ns": 1},
+    "beta":  {"median_ns": 400, "iqr_ns": 1},
+    "alpha": {"median_ns": 100, "iqr_ns": 1}}})");
+  const auto rows = diff_rows(oldc, newc);
+  ASSERT_EQ(rows.size(), std::size_t{3});
+  for (const DiffRow& r : rows) {
+    EXPECT_EQ(r.presence, DiffRow::Presence::Both) << r.name;
+    EXPECT_TRUE(r.comparable) << r.name;
+  }
+  // Only beta changed; a positional pairing would report alpha/gamma deltas.
+  EXPECT_DOUBLE_EQ(find_row(rows, "alpha")->delta_pct, 0.0);
+  EXPECT_DOUBLE_EQ(find_row(rows, "gamma")->delta_pct, 0.0);
+  const DiffRow* beta = find_row(rows, "beta");
+  EXPECT_DOUBLE_EQ(beta->delta_pct, 100.0);
+  EXPECT_TRUE(beta->significant);
+}
+
+TEST(BenchDiff, DisjointAndOverlappingSetsGetPresenceRows) {
+  const CaseMap oldc = parse_or_die(R"({"cases": {
+    "removed": {"median_ns": 50, "iqr_ns": 1},
+    "shared":  {"median_ns": 80, "iqr_ns": 1}}})");
+  const CaseMap newc = parse_or_die(R"({"cases": {
+    "added":  {"median_ns": 70, "iqr_ns": 1},
+    "shared": {"median_ns": 80, "iqr_ns": 1}}})");
+  const auto rows = diff_rows(oldc, newc);
+  ASSERT_EQ(rows.size(), std::size_t{3});
+  EXPECT_EQ(find_row(rows, "added")->presence, DiffRow::Presence::OnlyNew);
+  EXPECT_EQ(find_row(rows, "added")->new_median_ns, u64{70});
+  EXPECT_EQ(find_row(rows, "removed")->presence, DiffRow::Presence::OnlyOld);
+  EXPECT_EQ(find_row(rows, "removed")->old_median_ns, u64{50});
+  EXPECT_EQ(find_row(rows, "shared")->presence, DiffRow::Presence::Both);
+}
+
+TEST(BenchDiff, FullyDisjointSetsProduceNoComparison) {
+  const CaseMap oldc = parse_or_die(R"({"cases": {"a": {"median_ns": 1}}})");
+  const CaseMap newc = parse_or_die(R"({"cases": {"b": {"median_ns": 2}}})");
+  const auto rows = diff_rows(oldc, newc);
+  ASSERT_EQ(rows.size(), std::size_t{2});
+  for (const DiffRow& r : rows) {
+    EXPECT_NE(r.presence, DiffRow::Presence::Both) << r.name;
+    EXPECT_FALSE(r.comparable) << r.name;
+  }
+}
+
+TEST(BenchDiff, SignificanceRequiresClearingBothIqrs) {
+  // Delta of 10ns: old IQR 3 (cleared), new IQR 15 (not cleared) => noise.
+  const CaseMap oldc = parse_or_die(R"({"cases": {
+    "noisy": {"median_ns": 100, "iqr_ns": 3},
+    "clean": {"median_ns": 100, "iqr_ns": 3}}})");
+  const CaseMap newc = parse_or_die(R"({"cases": {
+    "noisy": {"median_ns": 110, "iqr_ns": 15},
+    "clean": {"median_ns": 110, "iqr_ns": 4}}})");
+  const auto rows = diff_rows(oldc, newc);
+  EXPECT_FALSE(find_row(rows, "noisy")->significant);
+  EXPECT_TRUE(find_row(rows, "clean")->significant);
+}
+
+TEST(BenchDiff, MissingMedianIsNotComparable) {
+  const CaseMap oldc = parse_or_die(R"({"cases": {"a": {"reps": 3}}})");
+  const CaseMap newc = parse_or_die(R"({"cases": {"a": {"median_ns": 5}}})");
+  const auto rows = diff_rows(oldc, newc);
+  ASSERT_EQ(rows.size(), std::size_t{1});
+  EXPECT_EQ(rows[0].presence, DiffRow::Presence::Both);
+  EXPECT_FALSE(rows[0].comparable);
+  EXPECT_FALSE(rows[0].significant);
+}
+
+TEST(BenchDiff, EmptyArtifactsYieldNoRows) {
+  EXPECT_TRUE(diff_rows({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace thsr::bench
