@@ -34,8 +34,11 @@
 #include "bench_util.hpp"
 #include "core/engine.hpp"
 #include "flat_json.hpp"
+#include "geometry/filter.hpp"
 #include "parallel/backend.hpp"
+#include "parallel/work_depth.hpp"
 #include "raster/raster.hpp"
+#include "service/engine_cache.hpp"
 #include "shard/sharded_engine.hpp"
 #include "timing.hpp"
 
@@ -180,6 +183,34 @@ void run_raster_cases(CaseMap& cases, const Config& cfg) {
   }
 }
 
+/// Viewpoint-service solves: warm EngineCache acquire + solve_scoped under
+/// rotated / elevated viewpoints — the query service's steady-state serving
+/// wall clock (the acquire is a cache hit after the harness warmup; the
+/// solve reuses the resident engine's arena).
+void run_service_cases(CaseMap& cases, const Config& cfg) {
+  const auto terr = std::make_shared<const Terrain>(bench::make(Family::Fbm, 48));
+  service::EngineCache cache;
+  cache.add_terrain(1, terr);
+  struct Vp {
+    service::Viewpoint vp;
+    const char* name;
+  };
+  for (const Vp v : {Vp{{.dir_x = 3, .dir_y = 4}, "az3-4"},
+                     Vp{{.dir_x = 4, .dir_y = -3, .elev_num = 1, .elev_den = 4}, "az4-3el1-4"}}) {
+    for (const Lane& ln : lanes()) {
+      const std::string name = std::string("service/fbm/g48/") + v.name + lane_suffix(ln);
+      if (!selected(cfg, name)) continue;
+      // solve_scoped inherits the ambient parallel configuration (it must
+      // not install its own — see HsrEngine::solve_scoped).
+      const par::ScopedConfig scope(ln.threads, ln.backend);
+      const HsrOptions opt{.algorithm = Algorithm::Parallel};
+      const TimedStats s = bench::measure(
+          [&] { (void)cache.acquire(1, v.vp)->solve_scoped(opt); }, cfg.warmup, cfg.reps);
+      record(cases, name, s, ln);
+    }
+  }
+}
+
 std::optional<CaseMap> load_artifact(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
@@ -265,10 +296,12 @@ int main(int argc, char** argv) {
   std::cout << "bench_timed: " << cfg.reps << " reps, " << cfg.warmup << " warmup, "
             << (pinned ? "pinned" : "unpinned") << "\n";
 
+  thsr::work::reset();  // so the filter hit-rate meta below covers this run only
   CaseMap cases;
   run_engine_cases(cases, cfg);
   run_shard_cases(cases, cfg);
   run_raster_cases(cases, cfg);
+  run_service_cases(cases, cfg);
 
   std::map<std::string, std::string> meta;
   meta["git_sha"] = thsr::bench::git_sha();
@@ -285,6 +318,19 @@ int main(int argc, char** argv) {
       names += "/p" + std::to_string(ln.threads);
     }
     meta["lanes"] = names;
+  }
+  {
+    // Predicate-filter telemetry across the whole run (all cases, warmups
+    // included): hit rate of the f64 fast path vs exact i128 fallbacks.
+    // "filter" records whether the fast path was live for this artifact.
+    using thsr::Op;
+    const thsr::Counters w = thsr::work::snapshot();
+    const u64 fast = w[Op::FilterFast], exact = w[Op::FilterExact];
+    meta["filter"] = thsr::filt::enabled() ? "on" : "off";
+    meta["filter_fast"] = std::to_string(fast);
+    meta["filter_exact_fallback"] = std::to_string(exact);
+    meta["filter_fallback_permille"] =
+        std::to_string(fast + exact == 0 ? 0 : 1000 * exact / (fast + exact));
   }
 
   thsr::bench::write_timed_json(cases, meta, cfg.out);

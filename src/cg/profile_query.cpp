@@ -18,20 +18,26 @@ struct Walker {
   std::span<const Seg2> segs;
   std::vector<TransitionEvent>& out;
   int state;
+  // The query segment's double view, built once per walk; each piece's view
+  // and the overlap abscissa's view are built once per piece (the batched
+  // filtered-predicate protocol, DESIGN.md section 5).
+  const filt::SegF sf = s.coeffs_f();
 
   // Process the piece p on its overlap with (from, to).
   void do_piece(const PieceData& p) {
-    const QY lo = qmax(from, p.y0);
-    const QY hi = qmin(to, p.y1);
-    if (!(lo < hi)) return;
+    const QY lo = filt::qmax(from, p.y0);
+    const QY hi = filt::qmin(to, p.y1);
+    if (!(filt::cmp(lo, hi) < 0)) return;
     const Seg2& q = resolve_seg(segs, p.edge);
-    const int entry = state_of(s, q, lo);
+    const filt::SegF qf = q.coeffs_f();
+    const filt::YF lof(lo);
+    const int entry = cmp_value_near(s, sf, q, qf, lo, lof, Side::After) > 0 ? +1 : -1;
     if (entry != state) {
       out.push_back({lo, entry, p.edge, EventKind::Break});
       work::count(Op::MergeEvent);
       state = entry;
     }
-    if (auto cr = crossing_in(s, q, lo, hi)) {
+    if (auto cr = crossing_in(s, sf, q, qf, lo, lof, hi)) {
       state = -state;
       out.push_back({*cr, state, p.edge, EventKind::Cross});
       work::count(Op::Crossing);
@@ -48,9 +54,9 @@ struct Walker {
 
   void visit(ptreap::Ref t, const QY& slo, const QY& shi) {
     if (!t) return;
-    const QY olo = qmax(slo, from);
-    const QY ohi = qmin(shi, to);
-    if (!(olo < ohi)) return;
+    const QY olo = filt::qmax(slo, from);
+    const QY ohi = filt::qmin(shi, to);
+    if (!(filt::cmp(olo, ohi) < 0)) return;
     work::count(Op::OracleStep);
 
     // Conservative f64 pruning. zlo/zhi are outward-rounded subtree bounds;
@@ -109,17 +115,20 @@ int walk_transitions_scan(std::span<const PieceData> pieces, const Seg2& s, cons
   work::count(Op::OracleQuery);
   // Skip pieces entirely before the window.
   auto it = std::partition_point(pieces.begin(), pieces.end(),
-                                 [&](const PieceData& p) { return p.y1 <= from; });
+                                 [&](const PieceData& p) { return filt::cmp(p.y1, from) <= 0; });
   int state = 0;
   bool first = true;
   int initial = 0;
-  for (; it != pieces.end() && it->y0 < to; ++it) {
+  const filt::SegF sf = s.coeffs_f();  // once per scan, not per piece
+  for (; it != pieces.end() && filt::cmp(it->y0, to) < 0; ++it) {
     const PieceData& p = *it;
     work::count(Op::OracleStep);
-    const QY lo = qmax(from, p.y0), hi = qmin(to, p.y1);
-    if (!(lo < hi)) continue;
+    const QY lo = filt::qmax(from, p.y0), hi = filt::qmin(to, p.y1);
+    if (!(filt::cmp(lo, hi) < 0)) continue;
     const Seg2& q = resolve_seg(segs, p.edge);
-    const int entry = state_of(s, q, lo);
+    const filt::SegF qf = q.coeffs_f();
+    const filt::YF lof(lo);
+    const int entry = cmp_value_near(s, sf, q, qf, lo, lof, Side::After) > 0 ? +1 : -1;
     if (first) {
       initial = state = entry;
       first = false;
@@ -128,7 +137,7 @@ int walk_transitions_scan(std::span<const PieceData> pieces, const Seg2& s, cons
       work::count(Op::MergeEvent);
       state = entry;
     }
-    if (auto cr = crossing_in(s, q, lo, hi)) {
+    if (auto cr = crossing_in(s, sf, q, qf, lo, lof, hi)) {
       state = -state;
       out.push_back({*cr, state, p.edge, EventKind::Cross});
       work::count(Op::Crossing);

@@ -92,7 +92,7 @@ ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
   bool have_prev = false;
   for (std::size_t j = 0; j < ps.size(); ++j) {
     const EnvPiece& p = ps[j];
-    if (have_prev && prev_end != p.y0) close(prev_end);  // gap in pi ends any run
+    if (have_prev && filt::cmp(prev_end, p.y0) != 0) close(prev_end);  // gap in pi ends any run
     int st = initial[j];
     QY pos = p.y0;
     if (st == +1) {

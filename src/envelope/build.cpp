@@ -65,7 +65,7 @@ Envelope merge_envelopes_parallel(const Envelope& front, const Envelope& back,
   std::vector<EnvPiece> out;
   for (const Envelope& part : parts) {
     for (const EnvPiece& p : part.pieces()) {
-      if (!out.empty() && out.back().edge == p.edge && out.back().y1 == p.y0) {
+      if (!out.empty() && out.back().edge == p.edge && filt::cmp(out.back().y1, p.y0) == 0) {
         out.back().y1 = p.y1;  // heal seams split by a cut
       } else {
         out.push_back(p);

@@ -7,21 +7,27 @@ namespace thsr {
 std::optional<std::size_t> Envelope::piece_index_at(const QY& y, Side side) const {
   if (pieces_.empty()) return std::nullopt;
   // First piece with y0 >= y.
-  auto it = std::lower_bound(pieces_.begin(), pieces_.end(), y,
-                             [](const EnvPiece& p, const QY& v) { return p.y0 < v; });
+  const filt::YF yf(y);
+  auto it = std::lower_bound(
+      pieces_.begin(), pieces_.end(), y,
+      [&](const EnvPiece& p, const QY& v) { return filt::cmp(p.y0, v, yf) < 0; });
   if (side == Side::After) {
     // Piece covering (y, y+eps): either starts exactly at y, or the previous
     // piece extends strictly beyond y.
-    if (it != pieces_.end() && it->y0 == y) return static_cast<std::size_t>(it - pieces_.begin());
+    if (it != pieces_.end() && filt::cmp(it->y0, y, yf) == 0) {
+      return static_cast<std::size_t>(it - pieces_.begin());
+    }
     if (it == pieces_.begin()) return std::nullopt;
     --it;
-    if (it->y1 > y) return static_cast<std::size_t>(it - pieces_.begin());
+    if (filt::cmp(it->y1, y, yf) > 0) return static_cast<std::size_t>(it - pieces_.begin());
     return std::nullopt;
   }
   // Side::Before: piece covering (y-eps, y).
   if (it == pieces_.begin()) return std::nullopt;
   --it;
-  if (it->y1 >= y && it->y0 < y) return static_cast<std::size_t>(it - pieces_.begin());
+  if (filt::cmp(it->y1, y, yf) >= 0 && filt::cmp(it->y0, y, yf) < 0) {
+    return static_cast<std::size_t>(it - pieces_.begin());
+  }
   return std::nullopt;
 }
 
@@ -56,12 +62,13 @@ bool Envelope::dominates_all_at(const QY& y, Side side, std::span<const Seg2> se
 
 Envelope cut_envelope(const Envelope& e, const QY& lo, const QY& hi) {
   std::vector<EnvPiece> out;
+  const filt::YF lof(lo), hif(hi);
   for (const EnvPiece& p : e.pieces()) {
-    if (cmp(p.y1, lo) <= 0 || cmp(p.y0, hi) >= 0) continue;
+    if (filt::cmp(p.y1, lo, lof) <= 0 || filt::cmp(p.y0, hi, hif) >= 0) continue;
     EnvPiece q = p;
-    if (cmp(q.y0, lo) < 0) q.y0 = lo;
-    if (cmp(q.y1, hi) > 0) q.y1 = hi;
-    if (q.y0 < q.y1) out.push_back(q);
+    if (filt::cmp(q.y0, lo, lof) < 0) q.y0 = lo;
+    if (filt::cmp(q.y1, hi, hif) > 0) q.y1 = hi;
+    if (filt::cmp(q.y0, q.y1) < 0) out.push_back(q);
   }
   return Envelope::from_pieces(std::move(out));
 }

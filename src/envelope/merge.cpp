@@ -3,6 +3,10 @@
 
 namespace thsr {
 
+namespace {
+constexpr u32 kNoEdge = ~u32{0};
+}  // namespace
+
 Envelope merge_envelopes(const Envelope& front, const Envelope& back,
                          std::span<const Seg2> segs, std::vector<CrossEvent>* events) {
   const auto& A = front.pieces();
@@ -13,8 +17,8 @@ Envelope merge_envelopes(const Envelope& front, const Envelope& back,
   std::vector<EnvPiece> out;
   out.reserve(A.size() + B.size());
   const auto emit = [&](const QY& y0, const QY& y1, u32 edge) {
-    if (!(y0 < y1)) return;
-    if (!out.empty() && out.back().edge == edge && out.back().y1 == y0) {
+    if (!(filt::cmp(y0, y1) < 0)) return;
+    if (!out.empty() && out.back().edge == edge && filt::cmp(out.back().y1, y0) == 0) {
       out.back().y1 = y1;
     } else {
       out.push_back({y0, y1, edge});
@@ -22,55 +26,73 @@ Envelope merge_envelopes(const Envelope& front, const Envelope& back,
     }
   };
 
+  // Batched filtered evaluation (DESIGN.md section 5): the sweep abscissa's
+  // double view is refreshed once per advance, and each live piece's segment
+  // coefficients once per piece change — not per predicate call.
   std::size_t a = 0, b = 0;
   QY y = qmin(A[0].y0, B[0].y0);
+  filt::YF yf(y);
+  const auto advance = [&](const QY& ny) {
+    y = ny;
+    yf = filt::YF(y);
+  };
+  u32 ea = kNoEdge, eb = kNoEdge;
+  filt::SegF saf, sbf;
   while (true) {
-    while (a < A.size() && A[a].y1 <= y) ++a;
-    while (b < B.size() && B[b].y1 <= y) ++b;
+    while (a < A.size() && filt::cmp(A[a].y1, y, yf) <= 0) ++a;
+    while (b < B.size() && filt::cmp(B[b].y1, y, yf) <= 0) ++b;
     if (a >= A.size() && b >= B.size()) break;
 
-    const EnvPiece* pa = (a < A.size() && A[a].y0 <= y) ? &A[a] : nullptr;
-    const EnvPiece* pb = (b < B.size() && B[b].y0 <= y) ? &B[b] : nullptr;
+    const EnvPiece* pa = (a < A.size() && filt::cmp(A[a].y0, y, yf) <= 0) ? &A[a] : nullptr;
+    const EnvPiece* pb = (b < B.size() && filt::cmp(B[b].y0, y, yf) <= 0) ? &B[b] : nullptr;
 
     if (!pa && !pb) {  // gap on both: jump to the next piece start
       if (a >= A.size()) {
-        y = B[b].y0;
+        advance(B[b].y0);
       } else if (b >= B.size()) {
-        y = A[a].y0;
+        advance(A[a].y0);
       } else {
-        y = qmin(A[a].y0, B[b].y0);
+        advance(filt::qmin(A[a].y0, B[b].y0));
       }
       continue;
     }
     if (pa && !pb) {  // only the front envelope is live
       QY end = pa->y1;
-      if (b < B.size()) end = qmin(end, B[b].y0);
+      if (b < B.size()) end = filt::qmin(end, B[b].y0);
       emit(y, end, pa->edge);
-      y = end;
+      advance(end);
       continue;
     }
     if (pb && !pa) {
       QY end = pb->y1;
-      if (a < A.size()) end = qmin(end, A[a].y0);
+      if (a < A.size()) end = filt::qmin(end, A[a].y0);
       emit(y, end, pb->edge);
-      y = end;
+      advance(end);
       continue;
     }
 
     // Both live on (y, end): one comparison decides the winner just after y;
     // at most one line crossing can occur before `end`.
-    const QY end = qmin(pa->y1, pb->y1);
+    const QY end = filt::qmin(pa->y1, pb->y1);
     const Seg2 &sa = segs[pa->edge], &sb = segs[pb->edge];
-    const int w = cmp_value_near(sa, sb, y, Side::After);  // ties: front occludes
+    if (pa->edge != ea) {
+      ea = pa->edge;
+      saf = sa.coeffs_f();
+    }
+    if (pb->edge != eb) {
+      eb = pb->edge;
+      sbf = sb.coeffs_f();
+    }
+    const int w = cmp_value_near(sa, saf, sb, sbf, y, yf, Side::After);  // ties: front occludes
     const u32 winner = w >= 0 ? pa->edge : pb->edge;
-    if (auto cr = crossing_in(sa, sb, y, end)) {
+    if (auto cr = crossing_in(sa, saf, sb, sbf, y, yf, end)) {
       emit(y, *cr, winner);
       if (events) events->push_back({*cr, winner, w >= 0 ? pb->edge : pa->edge});
       work::count(Op::Crossing);
-      y = *cr;  // winner is recomputed just after the crossing
+      advance(*cr);  // winner is recomputed just after the crossing
     } else {
       emit(y, end, winner);
-      y = end;
+      advance(end);
     }
   }
   return Envelope::from_pieces(std::move(out));

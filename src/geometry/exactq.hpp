@@ -50,9 +50,20 @@ inline i128 mul128(i128 a, i128 b) noexcept {
 struct QY {
   i128 p{0};
   i128 q{1};
+  /// Round-to-nearest double mirrors of p and q, paid once at construction
+  /// so the predicate filter (geometry/filter.hpp) never converts __int128
+  /// on its fast path. q <= 2^45 converts exactly; p may round once, which
+  /// the filter's error bounds absorb. Equal (p, q) implies equal (pd, qd),
+  /// so the mirrors never add distinctions.
+  double pd{0};
+  double qd{1};
 
   constexpr QY() = default;
-  constexpr QY(i128 num, i128 den) : p(den < 0 ? -num : num), q(den < 0 ? -den : den) {
+  constexpr QY(i128 num, i128 den)
+      : p(den < 0 ? -num : num),
+        q(den < 0 ? -den : den),
+        pd(static_cast<double>(p)),
+        qd(static_cast<double>(q)) {
     THSR_DCHECK(q > 0);
   }
 

@@ -1,6 +1,7 @@
 #pragma once
 /// \file predicates.hpp
-/// Exact geometric predicates on image-plane segments.
+/// Exact geometric predicates on image-plane segments, behind a
+/// floating-point filter.
 ///
 /// A `Seg2` is a non-vertical segment of the plane, viewed as a linear
 /// function v(u) over [u0, u1] through integer endpoints (normalized so
@@ -9,11 +10,19 @@
 ///   * ground plane: u = y, v = x  (the depth-order plane sweep).
 ///
 /// All predicates are exact for integer inputs with |coord| <= kMaxCoord and
-/// rational abscissae produced by line_crossing (DESIGN.md section 5).
+/// rational abscissae produced by line_crossing (DESIGN.md section 5). The
+/// public names below first try the semi-static double filter of
+/// geometry/filter.hpp and fall back to the exact `__int128` evaluations in
+/// `namespace exact` when the sign is not certified — so results are
+/// bit-identical with the filter on or off, and the exact code remains the
+/// single source of truth. Hot loops that evaluate many predicates per
+/// (segment pair, abscissa) use the overloads taking pre-built filt::SegF /
+/// filt::YF views to amortize the double conversions (envelope merge,
+/// oracle walks).
 
 #include <optional>
 
-#include "geometry/exactq.hpp"
+#include "geometry/filter.hpp"
 
 namespace thsr {
 
@@ -38,6 +47,12 @@ struct Seg2 {
   }
   double approx_at(const QY& u) const noexcept { return approx_at(u.approx()); }
 
+  /// Double view of the line coefficients (all exactly representable:
+  /// |A|, B <= 2^22, |C| <= 2^44) for the filtered predicates.
+  filt::SegF coeffs_f() const noexcept {
+    return {static_cast<double>(A()), static_cast<double>(B()), static_cast<double>(C())};
+  }
+
   friend constexpr bool operator==(const Seg2&, const Seg2&) = default;
 };
 
@@ -45,10 +60,23 @@ struct Seg2 {
 /// `After` compares on (y, y+eps), `Before` on (y-eps, y).
 enum class Side { Before, After };
 
+/// ------------------------------------------------------------------------
+/// Exact `__int128` evaluations (DESIGN.md section 5). These are the
+/// semantics; the filtered public predicates below must agree with them on
+/// every input, which tests/test_filter.cpp enforces on adversarial cases.
+namespace exact {
+
+/// Shared value numerator f = A*p - C*q, i.e. v_a(y) scaled by (B_a * q).
+/// The single definition both cmp_value_at and cmp_value_vs_int scale
+/// from, so the exact and filtered paths cannot drift apart.
+inline i128 value_numerator(const Seg2& a, const QY& y) noexcept {
+  return mul128(a.A(), y.p) - mul128(a.C(), y.q);
+}
+
 /// sign(v_a(y) - v_b(y)) at an exact rational abscissa, as extended lines.
 inline int cmp_value_at(const Seg2& a, const Seg2& b, const QY& y) noexcept {
-  const i128 fa = mul128(a.A(), y.p) - mul128(a.C(), y.q);  // = v_a(y) * (B_a * q)
-  const i128 fb = mul128(b.A(), y.p) - mul128(b.C(), y.q);
+  const i128 fa = value_numerator(a, y);
+  const i128 fb = value_numerator(b, y);
   return sgn128(mul128(fa, b.B()) - mul128(fb, a.B()));
 }
 
@@ -57,18 +85,9 @@ inline int cmp_slope(const Seg2& a, const Seg2& b) noexcept {
   return sgn128(i128{a.A()} * b.B() - i128{b.A()} * a.B());
 }
 
-/// sign(v_a - v_b) on an open interval immediately before/after y.
-/// Returns 0 only when the supporting lines coincide.
-inline int cmp_value_near(const Seg2& a, const Seg2& b, const QY& y, Side side) noexcept {
-  if (const int c = cmp_value_at(a, b, y); c != 0) return c;
-  const int s = cmp_slope(a, b);
-  return side == Side::After ? s : -s;
-}
-
 /// sign(v_a(y) - w) against an integer ordinate w.
 inline int cmp_value_vs_int(const Seg2& a, const QY& y, i64 w) noexcept {
-  const i128 fa = mul128(a.A(), y.p) - mul128(a.C(), y.q);  // v_a(y) * (B_a * q)
-  return sgn128(fa - mul128(mul128(a.B(), y.q), w));
+  return sgn128(value_numerator(a, y) - mul128(mul128(a.B(), y.q), w));
 }
 
 /// True when the supporting lines are identical.
@@ -77,7 +96,90 @@ inline bool same_line(const Seg2& a, const Seg2& b) noexcept {
          mul128(a.C(), b.B()) == mul128(b.C(), a.B());
 }
 
+}  // namespace exact
+
+/// sign(v_a(y) - v_b(y)) at an exact rational abscissa, as extended lines.
+/// Batched form: caller supplies the cached double views.
+inline int cmp_value_at(const Seg2& a, const filt::SegF& af, const Seg2& b, const filt::SegF& bf,
+                        const QY& y, const filt::YF& yf) noexcept {
+  if (filt::enabled()) {
+    const int s = filt::try_cmp_value_at(af, bf, yf);
+    if (s != filt::kUncertain) {
+      filt::note_fast();
+      return s;
+    }
+    filt::note_exact();
+  }
+  return exact::cmp_value_at(a, b, y);
+}
+
+inline int cmp_value_at(const Seg2& a, const Seg2& b, const QY& y) noexcept {
+  return cmp_value_at(a, a.coeffs_f(), b, b.coeffs_f(), y, filt::YF(y));
+}
+
+/// sign(slope_a - slope_b). The double evaluation is exact for in-contract
+/// coordinates (see filt::try_cmp_slope), so this never falls back.
+inline int cmp_slope(const Seg2& a, const Seg2& b) noexcept {
+  if (filt::enabled()) {
+    filt::note_fast();
+    return filt::try_cmp_slope(a.coeffs_f(), b.coeffs_f());
+  }
+  return exact::cmp_slope(a, b);
+}
+
+/// sign(v_a - v_b) on an open interval immediately before/after y.
+/// Returns 0 only when the supporting lines coincide.
+inline int cmp_value_near(const Seg2& a, const filt::SegF& af, const Seg2& b,
+                          const filt::SegF& bf, const QY& y, const filt::YF& yf,
+                          Side side) noexcept {
+  if (const int c = cmp_value_at(a, af, b, bf, y, yf); c != 0) return c;
+  const int s = filt::enabled() ? filt::try_cmp_slope(af, bf) : exact::cmp_slope(a, b);
+  return side == Side::After ? s : -s;
+}
+
+inline int cmp_value_near(const Seg2& a, const Seg2& b, const QY& y, Side side) noexcept {
+  return cmp_value_near(a, a.coeffs_f(), b, b.coeffs_f(), y, filt::YF(y), side);
+}
+
+/// sign(v_a(y) - w) against an integer ordinate w.
+inline int cmp_value_vs_int(const Seg2& a, const filt::SegF& af, const QY& y,
+                            const filt::YF& yf, i64 w) noexcept {
+  if (filt::enabled()) {
+    const int s = filt::try_cmp_value_vs_int(af, yf, w);
+    if (s != filt::kUncertain) {
+      filt::note_fast();
+      return s;
+    }
+    filt::note_exact();
+  }
+  return exact::cmp_value_vs_int(a, y, w);
+}
+
+inline int cmp_value_vs_int(const Seg2& a, const QY& y, i64 w) noexcept {
+  return cmp_value_vs_int(a, a.coeffs_f(), y, filt::YF(y), w);
+}
+
+/// True when the supporting lines are identical.
+inline bool same_line(const Seg2& a, const Seg2& b) noexcept {
+  if (filt::enabled()) {
+    const filt::SegF af = a.coeffs_f(), bf = b.coeffs_f();
+    if (filt::try_cmp_slope(af, bf) != 0) {
+      filt::note_fast();
+      return false;
+    }
+    const filt::NumF num = filt::crossing_numerator(af, bf);
+    if (filt::certain_sign(num.v, filt::kEps2 * num.mag) != filt::kUncertain) {
+      filt::note_fast();  // C-rows certainly differ: distinct parallel lines
+      return false;
+    }
+    filt::note_exact();
+  }
+  return exact::same_line(a, b);
+}
+
 /// Crossing abscissa of the two supporting lines, if they are not parallel.
+/// Constructing the exact QY needs the i128 numerator either way, so only
+/// the parallel test is filtered (it is exact in double).
 inline std::optional<QY> line_crossing(const Seg2& a, const Seg2& b) noexcept {
   const i128 det = i128{a.A()} * b.B() - i128{b.A()} * a.B();
   if (det == 0) return std::nullopt;
@@ -86,11 +188,46 @@ inline std::optional<QY> line_crossing(const Seg2& a, const Seg2& b) noexcept {
 }
 
 /// Crossing of the supporting lines restricted to the open interval (lo, hi).
+/// Batched form: the filter rejects crossings certainly outside (lo, hi)
+/// from the double numerator/denominator alone — no exact QY comparisons —
+/// and certifies strict containment the same way; only window-boundary
+/// near-ties fall back to the exact interval test.
+inline std::optional<QY> crossing_in(const Seg2& a, const filt::SegF& af, const Seg2& b,
+                                     const filt::SegF& bf, const QY& lo, const filt::YF& lof,
+                                     const QY& hi) noexcept {
+  if (filt::enabled()) {
+    const double det = af.A * bf.B - bf.A * af.B;  // exact (try_cmp_slope)
+    if (det == 0) {
+      filt::note_fast();
+      return std::nullopt;
+    }
+    const filt::NumF num = filt::crossing_numerator(af, bf);
+    const int r_lo = filt::try_cmp_crossing(num, det, lof);
+    if (r_lo != filt::kUncertain && r_lo <= 0) {
+      filt::note_fast();
+      return std::nullopt;
+    }
+    const int r_hi = filt::try_cmp_crossing(num, det, filt::YF(hi));
+    if (r_hi != filt::kUncertain && r_hi >= 0) {
+      filt::note_fast();
+      return std::nullopt;
+    }
+    if (r_lo != filt::kUncertain && r_hi != filt::kUncertain) {
+      filt::note_fast();  // strictly inside: build the exact value directly
+      const i128 detI = i128{a.A()} * b.B() - i128{b.A()} * a.B();
+      const i128 numI = mul128(a.C(), b.B()) - mul128(b.C(), a.B());
+      return QY(numI, detI);
+    }
+    filt::note_exact();
+  }
+  auto y = line_crossing(a, b);
+  if (!y || thsr::cmp(*y, lo) <= 0 || thsr::cmp(*y, hi) >= 0) return std::nullopt;
+  return y;
+}
+
 inline std::optional<QY> crossing_in(const Seg2& a, const Seg2& b, const QY& lo,
                                      const QY& hi) noexcept {
-  auto y = line_crossing(a, b);
-  if (!y || cmp(*y, lo) <= 0 || cmp(*y, hi) >= 0) return std::nullopt;
-  return y;
+  return crossing_in(a, a.coeffs_f(), b, b.coeffs_f(), lo, filt::YF(lo), hi);
 }
 
 }  // namespace thsr

@@ -6,52 +6,47 @@
 namespace thsr::work {
 namespace {
 
-struct Bucket {
-  Counters c;
-};
-
-// Buckets outlive their threads (a worker's counts must stay visible to
-// snapshot() after the thread exits) and must stay valid through static
+// Counter blocks outlive their threads (a worker's counts must stay visible
+// to snapshot() after the thread exits) and must stay valid through static
 // destruction (a worker may still count() while other statics are torn
-// down), so the registry — and the mutex guarding it — are never
-// destroyed. Keeping the container alive also keeps every bucket
-// reachable, so leak checkers stay quiet.
+// down), so the registry — and the mutex guarding it — are never destroyed.
+// Keeping the container alive also keeps every block reachable, so leak
+// checkers stay quiet.
 std::mutex& mu() {
   static auto* m = new std::mutex();
   return *m;
 }
 
-std::vector<Bucket*>& registry() {
-  static auto* r = new std::vector<Bucket*>();
+std::vector<Counters*>& registry() {
+  static auto* r = new std::vector<Counters*>();
   return *r;
-}
-
-Bucket& local_bucket() {
-  thread_local Bucket* b = [] {
-    auto* fresh = new Bucket();
-    std::lock_guard<std::mutex> lk(mu());
-    registry().push_back(fresh);
-    return fresh;
-  }();
-  return *b;
 }
 
 }  // namespace
 
-void count(Op op, u64 n) noexcept { local_bucket().c.v[static_cast<std::size_t>(op)] += n; }
+namespace detail {
 
-Counters local_snapshot() noexcept { return local_bucket().c; }
+Counters* register_thread() noexcept {
+  auto* fresh = new Counters();
+  std::lock_guard<std::mutex> lk(mu());
+  registry().push_back(fresh);
+  return fresh;
+}
+
+}  // namespace detail
+
+Counters local_snapshot() noexcept { return detail::local(); }
 
 Counters snapshot() noexcept {
   std::lock_guard<std::mutex> lk(mu());
   Counters total;
-  for (const Bucket* b : registry()) total += b->c;
+  for (const Counters* c : registry()) total += *c;
   return total;
 }
 
 void reset() noexcept {
   std::lock_guard<std::mutex> lk(mu());
-  for (Bucket* b : registry()) b->c = Counters{};
+  for (Counters* c : registry()) *c = Counters{};
 }
 
 }  // namespace thsr::work

@@ -27,19 +27,29 @@ enum class Op : unsigned {
   OracleStep,       ///< tree nodes visited inside oracle descents
   EnvPiece,         ///< envelope pieces produced by phase-1 merges
   MergeEvent,       ///< above/below transition events in phase-2 merges
+  // --- telemetry (not "work"): excluded from Counters::total() so that the
+  // counted-work totals the shard duplication bound and benches E1/E4 reason
+  // about keep their pre-filter meaning. Still baseline-gated per key.
+  FilterFast,       ///< predicates decided by the f64 filter (no i128 math)
+  FilterExact,      ///< predicates that fell back to the exact i128 path
   kCount,
 };
 
+/// Ops in [0, kWorkOpCount) are work; the rest are telemetry.
+inline constexpr std::size_t kWorkOpCount = static_cast<std::size_t>(Op::FilterFast);
+
 inline constexpr std::array<std::string_view, static_cast<std::size_t>(Op::kCount)> kOpNames{
-    "exact_cmp", "crossing", "treap_node", "oracle_query",
-    "oracle_step", "env_piece", "merge_event"};
+    "exact_cmp",   "crossing",  "treap_node",  "oracle_query",
+    "oracle_step", "env_piece", "merge_event", "filter_fast",
+    "filter_exact_fallback"};
 
 struct Counters {
   std::array<u64, static_cast<std::size_t>(Op::kCount)> v{};
   u64 operator[](Op op) const noexcept { return v[static_cast<std::size_t>(op)]; }
+  /// Total counted *work* (telemetry ops excluded; see Op).
   u64 total() const noexcept {
     u64 s = 0;
-    for (auto x : v) s += x;
+    for (std::size_t i = 0; i < kWorkOpCount; ++i) s += v[i];
     return s;
   }
   Counters& operator+=(const Counters& o) noexcept {
@@ -55,8 +65,26 @@ struct Counters {
 
 namespace work {
 
-/// Record `n` operations of kind `op` on the calling thread. O(1), no locks.
-void count(Op op, u64 n = 1) noexcept;
+namespace detail {
+/// Slow path, once per thread: allocate this thread's counter block and
+/// register it with the global snapshot/reset registry (work_depth.cpp;
+/// blocks are never destroyed so totals survive thread exits).
+Counters* register_thread() noexcept;
+
+/// The calling thread's counter block. The cached thread_local pointer
+/// keeps the inline count() below at a guard check, a TLS load and one
+/// add — cheap enough to sit on the predicate-filter fast path.
+inline Counters& local() noexcept {
+  thread_local Counters* c = register_thread();
+  return *c;
+}
+}  // namespace detail
+
+/// Record `n` operations of kind `op` on the calling thread. O(1), no
+/// locks, fully inline.
+inline void count(Op op, u64 n = 1) noexcept {
+  detail::local().v[static_cast<std::size_t>(op)] += n;
+}
 
 /// Sum all threads' counters accumulated since the last reset.
 Counters snapshot() noexcept;

@@ -1,0 +1,169 @@
+/// Floating-point filter tests (geometry/filter.hpp): the filtered public
+/// predicates must agree bit-for-bit with the exact `__int128` evaluations on
+/// contract-boundary coordinates (|coord| = kMaxCoord) and on adversarial
+/// last-bit inputs — and those inputs must actually exercise the exact
+/// fallback path, which the Op::FilterExact telemetry proves.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/predicates.hpp"
+#include "parallel/work_depth.hpp"
+#include "test_util.hpp"
+
+namespace thsr {
+namespace {
+
+/// Telemetry delta of the calling thread around `fn` (zero-filled when the
+/// filter is disabled, since nothing is counted then).
+template <class Fn>
+Counters telemetry_of(Fn&& fn) {
+  const Counters before = work::local_snapshot();
+  fn();
+  Counters d = work::local_snapshot();
+  d -= before;
+  return d;
+}
+
+TEST(Filter, AgreesWithExactOnRandomSoupAtFullRange) {
+  // Coordinates up to the kMaxCoord contract edge: the magnitudes the
+  // DESIGN.md section 5 error bounds were derived for.
+  auto segs = test::random_segments(21, 160, kMaxCoord);
+  auto g = test::rng(22);
+  std::uniform_int_distribution<std::size_t> pick(0, segs.size() - 1);
+  std::uniform_int_distribution<i64> ys(-kMaxCoord, kMaxCoord);
+  for (int i = 0; i < 30'000; ++i) {
+    const Seg2 &a = segs[pick(g)], &b = segs[pick(g)];
+    const QY y = QY::of(ys(g));
+    EXPECT_EQ(cmp_value_at(a, b, y), exact::cmp_value_at(a, b, y));
+    EXPECT_EQ(cmp_slope(a, b), exact::cmp_slope(a, b));
+    EXPECT_EQ(same_line(a, b), exact::same_line(a, b));
+  }
+}
+
+TEST(Filter, AgreesWithExactAtCrossingAbscissae) {
+  // Rational abscissae with worst-case numerators: crossings of full-range
+  // lines. Comparisons at (and adjacent to) such points are where the
+  // filter's rounding is most stressed.
+  auto segs = test::random_segments(23, 80, kMaxCoord);
+  int at_crossing = 0;
+  for (std::size_t i = 0; i + 3 < segs.size(); i += 2) {
+    const auto y = line_crossing(segs[i], segs[i + 1]);
+    if (!y) continue;
+    ++at_crossing;
+    // Exact tie at the crossing itself.
+    EXPECT_EQ(cmp_value_at(segs[i], segs[i + 1], *y), 0);
+    // Third-party comparisons at the crossing.
+    const Seg2 &c = segs[i + 2], &d = segs[i + 3];
+    EXPECT_EQ(cmp_value_at(c, d, *y), exact::cmp_value_at(c, d, *y));
+    EXPECT_EQ(filt::cmp(*y, *y), 0);
+  }
+  EXPECT_GT(at_crossing, 20);
+}
+
+TEST(Filter, BoundaryCoordinatesAtContractEdge) {
+  constexpr i64 M = kMaxCoord;
+  // Extreme slopes and offsets right at the coordinate contract.
+  const Seg2 steep{-M, -M, M, M};           // slope 1, full diagonal
+  const Seg2 steep2{-M, M, M, -M};          // slope -1
+  const Seg2 flat{-M, M - 1, M, M - 1};     // slope 0 at the top edge
+  const Seg2 near_diag{-M, -M + 1, M, M};   // last-unit offset from `steep`
+  for (const Seg2* a : {&steep, &steep2, &flat, &near_diag}) {
+    for (const Seg2* b : {&steep, &steep2, &flat, &near_diag}) {
+      EXPECT_EQ(cmp_slope(*a, *b), exact::cmp_slope(*a, *b));
+      EXPECT_EQ(same_line(*a, *b), exact::same_line(*a, *b));
+      for (const i64 y : {-M, -M + 1, i64{0}, M - 1, M}) {
+        const QY yq = QY::of(y);
+        EXPECT_EQ(cmp_value_at(*a, *b, yq), exact::cmp_value_at(*a, *b, yq));
+        EXPECT_EQ(cmp_value_vs_int(*a, yq, M), exact::cmp_value_vs_int(*a, yq, M));
+        EXPECT_EQ(cmp_value_vs_int(*a, yq, -M), exact::cmp_value_vs_int(*a, yq, -M));
+      }
+    }
+  }
+  // steep vs near_diag cross once; the crossing must satisfy both lines.
+  const auto y = line_crossing(steep, near_diag);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_EQ(cmp_value_at(steep, near_diag, *y), 0);
+}
+
+TEST(Filter, AdversarialLastBitCmpFallsBackAndIsExact) {
+  // p/q pairs whose cross products differ in the last representable unit:
+  // |x - y| = 2^45 against magnitudes near 2^107 — far below the filter's
+  // error bound, so the double evaluation cannot certify the sign.
+  const QY a{(i128{1} << 62) + 1, i128{1} << 45};
+  const QY b{i128{1} << 62, i128{1} << 45};
+  const Counters d = telemetry_of([&] {
+    EXPECT_EQ(filt::cmp(a, b), 1);
+    EXPECT_EQ(filt::cmp(b, a), -1);
+  });
+  if (filt::enabled()) {
+    EXPECT_EQ(d[Op::FilterExact], 2u);
+    EXPECT_EQ(d[Op::FilterFast], 0u);
+  } else {
+    EXPECT_EQ(d[Op::FilterExact], 0u);
+    EXPECT_EQ(d[Op::FilterFast], 0u);
+  }
+}
+
+TEST(Filter, ExactValueTieFallsBack) {
+  // At the crossing of two lines the value difference is exactly zero; zero
+  // never clears a positive error bound, so this must take the exact path.
+  const Seg2 a{-kMaxCoord, -kMaxCoord, kMaxCoord, kMaxCoord};
+  const Seg2 b{-kMaxCoord, kMaxCoord, kMaxCoord, -kMaxCoord};
+  const auto y = line_crossing(a, b);
+  ASSERT_TRUE(y.has_value());
+  const Counters d = telemetry_of([&] { EXPECT_EQ(cmp_value_at(a, b, *y), 0); });
+  if (filt::enabled()) {
+    EXPECT_EQ(d[Op::FilterExact], 1u);
+  }
+}
+
+TEST(Filter, CrossingOnWindowBoundaryFallsBackToExactReject) {
+  // Crossing exactly at the window's lo endpoint: the open-interval test is
+  // a tie the double filter cannot certify, and the exact path must reject.
+  const Seg2 a{0, 0, 10, 10};
+  const Seg2 b{0, 10, 10, 0};  // crossing at y = 5
+  const QY lo = QY::of(5), hi = QY::of(10);
+  const Counters d =
+      telemetry_of([&] { EXPECT_FALSE(crossing_in(a, b, lo, hi).has_value()); });
+  if (filt::enabled()) {
+    EXPECT_EQ(d[Op::FilterExact], 1u);
+  }
+  // Strictly-inside crossings are certified without exact interval checks.
+  const Counters d2 = telemetry_of(
+      [&] { EXPECT_TRUE(crossing_in(a, b, QY::of(0), QY::of(10)).has_value()); });
+  if (filt::enabled()) {
+    EXPECT_EQ(d2[Op::FilterExact], 0u);
+    EXPECT_GE(d2[Op::FilterFast], 1u);
+  }
+}
+
+TEST(Filter, SlopeCompareNeverFallsBack) {
+  // A*B products are integers below 2^44: exact in double, so cmp_slope is
+  // decided by the filter on every input, including contract-edge slopes.
+  auto segs = test::random_segments(29, 60, kMaxCoord);
+  const Counters d = telemetry_of([&] {
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+      EXPECT_EQ(cmp_slope(segs[i], segs[i + 1]), exact::cmp_slope(segs[i], segs[i + 1]));
+    }
+  });
+  if (filt::enabled()) {
+    EXPECT_EQ(d[Op::FilterExact], 0u);
+  }
+}
+
+TEST(Filter, FastPathCountsTelemetry) {
+  const Seg2 a{0, 0, 10, 10};
+  const Seg2 c{0, 7, 10, 7};
+  const Counters d = telemetry_of([&] { EXPECT_LT(cmp_value_at(a, c, QY::of(1)), 0); });
+  if (filt::enabled()) {
+    EXPECT_EQ(d[Op::FilterFast], 1u);
+    EXPECT_EQ(d[Op::FilterExact], 0u);
+  } else {
+    EXPECT_EQ(d[Op::FilterFast], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace thsr
