@@ -3,9 +3,11 @@
 /// Runs the counter-relevant workloads of benches E1 (Theorem 3.1 work
 /// bound), E3 (schedule-independence), and E12 (phase-2 oracle ablation),
 /// plus the engine-reuse (engine/*), sharded (shard/*), raster (raster/*),
-/// and viewpoint-service (service/* — cached parameterized solves hard-
-/// gated bit-identical to direct solves of the pre-transformed terrain)
-/// case families, once each — no timing repetitions — and records the
+/// viewpoint-service (service/* — cached parameterized solves hard-gated
+/// bit-identical to direct solves of the pre-transformed terrain), and
+/// out-of-core streaming (stream/* — streamed rasters hard-gated bitwise
+/// against the monolithic solve, tall case under an enforced resident-
+/// bytes budget) case families, once each — no timing repetitions — and records the
 /// machine-independent work_depth counters as JSON. Because every grain/strip decision in the
 /// library is pinned to constants (see kEnvMergeStrips), the counters are
 /// bit-identical across machines, thread counts, and backends, so a
@@ -38,6 +40,9 @@
 #include "raster/raster.hpp"
 #include "service/engine_cache.hpp"
 #include "shard/sharded_engine.hpp"
+#include "stream/sinks.hpp"
+#include "stream/stream.hpp"
+#include "stream_grids.hpp"
 
 namespace {
 
@@ -314,6 +319,99 @@ int run_service_cases(CaseMap& cases) {
   return failures;
 }
 
+/// Out-of-core streaming workloads (DESIGN.md section 1.11). Counter cases
+/// gate the streamed solve + scan work against the baseline (the synthetic
+/// grids are integer-hash noise, so the counters are host-independent like
+/// every other family). Two built-in hard gates mirror bench_stream: the
+/// streamed raster must be bit-identical to the monolithic solve at every
+/// resident-slab budget (with budget-invariant counters), and the tall case
+/// must complete under an enforced resident-bytes budget. Returns the
+/// number of gate failures.
+int run_stream_cases(CaseMap& cases) {
+  int failures = 0;
+  const auto base_opt = [](u32 slab_rows, u32 B) {
+    stream::StreamOptions opt;
+    opt.slab_rows = slab_rows;
+    opt.resident_slabs = B;
+    opt.width = 160;
+    opt.height = 120;
+    opt.supersample = 2;
+    opt.solve.algorithm = Algorithm::Parallel;
+    opt.solve.threads = 2;
+    return opt;
+  };
+  const auto record = [&cases](const std::string& name, const stream::StreamStats& st) {
+    cases[name] = to_counter_map(st.work);
+    cases[name]["k_pieces"] = st.k_pieces;
+    cases[name]["triangles"] = st.triangles;
+    cases[name]["crossings"] = st.crossings;
+    cases[name]["hit_samples"] = st.hit_samples;
+    cases[name]["slabs"] = st.slabs;
+  };
+
+  // Identity: small enough for the monolithic path, compared bitwise.
+  {
+    const AscGrid g = bench::stream_grid(32, 48, /*seed=*/7);
+    const Terrain terr = stream::terrain_from_rows(g.ncols, g.nrows, g.values, g.nodata);
+    i64 z_lo = 0, z_hi = 0;
+    bool any = false;
+    for (const double v : g.values) {
+      const i64 q = stream::quantize_height(v, {});
+      z_lo = any ? std::min(z_lo, q) : q;
+      z_hi = any ? std::max(z_hi, q) : q;
+      any = true;
+    }
+    const HsrResult mono =
+        hidden_surface_removal(terr, {.algorithm = Algorithm::Parallel, .threads = 2});
+    raster::RasterOptions ropt;
+    ropt.width = 160;
+    ropt.height = 120;
+    ropt.supersample = 2;
+    ropt.window = stream::stream_window(g.ncols, g.nrows, z_lo, z_hi);
+    ropt.threads = 2;
+    const raster::ImageRaster img = raster::rasterize(terr, mono.map, ropt);
+    std::optional<stream::StreamStats> first;
+    for (const u32 B : {1u, 6u}) {
+      stream::StreamOptions opt = base_opt(/*slab_rows=*/8, B);
+      stream::MemoryBandSink sink(opt.width, opt.height, opt.supersample);
+      stream::GridRowSource src(g);
+      const stream::StreamStats st = stream::stream_solve(src, opt, sink);
+      const std::string name = "stream/synth/c32r48/s8";
+      if (sink.image().ids != img.ids || sink.image().depth != img.depth ||
+          sink.image().coverage != img.coverage) {
+        std::cout << "FAIL  " << name << "/b" << B
+                  << ": streamed raster differs from monolithic\n";
+        ++failures;
+      }
+      if (!first) {
+        first = st;
+        record(name, st);
+      } else if (!(st.work == first->work) || st.k_pieces != first->k_pieces ||
+                 st.crossings != first->crossings || st.hit_samples != first->hit_samples) {
+        std::cout << "FAIL  " << name << ": counters depend on the resident-slab budget\n";
+        ++failures;
+      }
+    }
+  }
+
+  // Tall: ~15 slab windows under an enforced resident-bytes budget (the
+  // full ~100x case runs in bench_stream; this one keeps bench_ci cheap).
+  {
+    const AscGrid g = bench::stream_grid(32, 481, /*seed=*/11);
+    stream::StreamOptions opt = base_opt(/*slab_rows=*/32, /*B=*/2);
+    opt.resident_bytes_budget = 16ull << 20;
+    stream::NullBandSink sink;
+    stream::GridRowSource src(g);
+    try {
+      record("stream/synth/c32r481/s32", stream::stream_solve(src, opt, sink));
+    } catch (const std::exception& e) {
+      std::cout << "FAIL  stream/synth/c32r481/s32: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -368,9 +466,13 @@ int main(int argc, char** argv) {
   // Viewpoint service: baseline cases + the cache-vs-direct identity gate.
   const int service_failures = run_service_cases(cases);
 
+  // Out-of-core streaming: baseline cases + the streamed-vs-monolithic
+  // identity and enforced resident-bytes gates.
+  const int stream_failures = run_stream_cases(cases);
+
   write_json(cases, out_path);
   std::cout << "wrote " << cases.size() << " cases to " << out_path << "\n";
-  const int gate_failures = shard_failures + raster_failures + service_failures;
+  const int gate_failures = shard_failures + raster_failures + service_failures + stream_failures;
   if (shard_failures) {
     // Reported now, but keep going: a single run should surface both this
     // and any baseline regressions below.
@@ -381,6 +483,9 @@ int main(int argc, char** argv) {
   }
   if (service_failures) {
     std::cout << service_failures << " service cache-vs-direct identity violation(s)\n";
+  }
+  if (stream_failures) {
+    std::cout << stream_failures << " streaming identity/residency violation(s)\n";
   }
 
   if (check_path.empty()) return gate_failures ? 1 : 0;

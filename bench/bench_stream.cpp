@@ -1,0 +1,253 @@
+/// bench_stream — out-of-core streaming lane (DESIGN.md section 1.11).
+///
+/// Exercises stream::stream_solve end to end and emits BENCH_STREAM.json
+/// (timings + residency figures). Unlike bench_timed this lane carries two
+/// hard gates, so its exit status is a real CI signal:
+///
+///  1. **Identity**: at a size where both paths fit in memory, the streamed
+///     raster must be bit-identical to the monolithic solve
+///     (terrain_from_rows + rasterize under the same window) for every
+///     resident-slab budget tried, and the streamed counters must be
+///     identical across budgets.
+///  2. **Residency**: a tall synthetic DEM — around a hundred times the
+///     rows of one slab window — streams from an actual .asc file with an
+///     *enforced* resident-bytes budget (stream.hpp: exceeding it throws),
+///     so the run completing at all bounds peak tracked residency.
+///
+/// Timings follow the bench_timed protocol (median/IQR over reps, pinned)
+/// but are informational; only the two gates fail the build.
+///
+/// Usage:
+///   bench_stream [--out BENCH_STREAM.json] [--reps 5] [--warmup 1]
+///                [--quick] [--no-pin]
+///
+/// --quick shrinks the tall case (481 rows instead of 3489) and drops to
+/// 3 reps — the ctest smoke configuration; CI runs the full protocol.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/hsr.hpp"
+#include "raster/raster.hpp"
+#include "stream/sinks.hpp"
+#include "stream/stream.hpp"
+#include "stream_grids.hpp"
+#include "timing.hpp"
+
+namespace {
+
+using namespace thsr;
+using bench::TimedCaseMap;
+using bench::TimedStats;
+
+/// The enforced resident-bytes gate for the tall case, per resident slab:
+/// a budget of B slabs keeps B recycled engines (arena + map) in flight,
+/// so tracked residency scales linearly in B — ~5 MiB per slab on the
+/// reference configuration. The bound leaves headroom for deliberate
+/// tweaks but fails on anything that starts retaining freed slabs, maps,
+/// or whole-image buffers — the failure modes streaming exists to avoid.
+/// Independent of the grid's row count: that is the out-of-core claim.
+constexpr u64 kResidentBytesGatePerSlab = 8ull << 20;
+
+struct Config {
+  std::string out = "BENCH_STREAM.json";
+  int reps = 5;
+  int warmup = 1;
+  bool quick = false;
+  bool pin = true;
+};
+
+stream::StreamOptions base_options(u32 slab_rows, u32 resident_slabs) {
+  stream::StreamOptions opt;
+  opt.slab_rows = slab_rows;
+  opt.resident_slabs = resident_slabs;
+  opt.width = 160;
+  opt.height = 120;
+  opt.supersample = 2;
+  opt.solve.algorithm = Algorithm::Parallel;
+  opt.solve.threads = 2;
+  return opt;
+}
+
+/// Monolithic reference raster of `g` under the streaming lattice and the
+/// exact window the pipeline derives (the comparison tests use too).
+raster::ImageRaster monolithic_image(const AscGrid& g, const stream::StreamOptions& opt) {
+  const Terrain terr = stream::terrain_from_rows(g.ncols, g.nrows, g.values, g.nodata);
+  i64 z_lo = 0, z_hi = 0;
+  bool any = false;
+  for (const double v : g.values) {
+    if (g.nodata && v == *g.nodata) continue;
+    const i64 q = stream::quantize_height(v, opt.lattice);
+    z_lo = any ? std::min(z_lo, q) : q;
+    z_hi = any ? std::max(z_hi, q) : q;
+    any = true;
+  }
+  const HsrResult solved = hidden_surface_removal(terr, opt.solve);
+  raster::RasterOptions ropt;
+  ropt.width = opt.width;
+  ropt.height = opt.height;
+  ropt.supersample = opt.supersample;
+  ropt.window = stream::stream_window(g.ncols, g.nrows, z_lo, z_hi);
+  ropt.threads = opt.solve.threads;
+  return raster::rasterize(terr, solved.map, ropt);
+}
+
+/// Gate 1: streamed output bitwise-equal to the monolithic raster at every
+/// resident-slab budget, counters identical across budgets. Returns the
+/// number of violations.
+int run_identity_gate(TimedCaseMap& cases) {
+  const AscGrid g = bench::stream_grid(32, 48, /*seed=*/7);
+  int failures = 0;
+  stream::StreamOptions opt = base_options(/*slab_rows=*/8, /*resident_slabs=*/1);
+  const raster::ImageRaster mono = monolithic_image(g, opt);
+  std::optional<stream::StreamStats> first;
+  for (const u32 B : {1u, 2u, 6u}) {
+    opt.resident_slabs = B;
+    stream::MemoryBandSink sink(opt.width, opt.height, opt.supersample);
+    stream::GridRowSource src(g);
+    const stream::StreamStats st = stream::stream_solve(src, opt, sink);
+    const std::string name = "stream/synth/c32r48/s8/b" + std::to_string(B);
+    const raster::ImageRaster& img = sink.image();
+    if (img.ids != mono.ids || img.depth != mono.depth || img.coverage != mono.coverage) {
+      std::cout << "FAIL  " << name << ": streamed raster differs from monolithic\n";
+      ++failures;
+    }
+    if (img.crossings != mono.crossings || img.hit_samples != mono.hit_samples) {
+      std::cout << "FAIL  " << name << ": raster counters differ from monolithic\n";
+      ++failures;
+    }
+    if (!first) {
+      first = st;
+    } else if (!(st.work == first->work) || st.k_pieces != first->k_pieces ||
+               st.crossings != first->crossings || st.hit_samples != first->hit_samples) {
+      std::cout << "FAIL  " << name << ": counters depend on the resident-slab budget\n";
+      ++failures;
+    }
+    cases[name]["peak_resident_bytes"] = st.peak_resident_bytes;
+    cases[name]["slabs"] = st.slabs;
+    cases[name]["bands_emitted"] = st.bands_emitted;
+    cases[name]["k_pieces"] = st.k_pieces;
+    cases[name]["crossings"] = st.crossings;
+    cases[name]["hit_samples"] = st.hit_samples;
+    cases[name]["work_total"] = st.work.total();
+  }
+  std::cout << "identity gate: streamed == monolithic at budgets {1,2,6}"
+            << (failures ? " FAILED\n" : "\n");
+  return failures;
+}
+
+/// Gate 2: the tall DEM streams out of an .asc file under the enforced
+/// budget. Also the timed family: one median per resident-slab budget.
+int run_tall_case(TimedCaseMap& cases, const Config& cfg) {
+  const u32 rows = cfg.quick ? 481u : 3489u;
+  const u32 slab_rows = 32;
+  const AscGrid g = bench::stream_grid(32, rows, /*seed=*/11);
+  const std::string asc_path = cfg.out + ".grid.asc";
+  save_asc_grid(g, asc_path);
+  int failures = 0;
+  for (const u32 B : {1u, 2u, 4u}) {
+    stream::StreamOptions opt = base_options(slab_rows, B);
+    opt.resident_bytes_budget = u64{B} * kResidentBytesGatePerSlab;
+    const std::string name =
+        "stream/synth/c32r" + std::to_string(rows) + "/s" + std::to_string(slab_rows) + "/b" +
+        std::to_string(B);
+    stream::StreamStats st;
+    std::vector<u64> ns;
+    try {
+      for (int i = 0; i < cfg.warmup + cfg.reps; ++i) {
+        stream::NullBandSink sink;
+        stream::AscFileRowSource src(asc_path);
+        const auto t0 = std::chrono::steady_clock::now();
+        st = stream::stream_solve(src, opt, sink);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (i >= cfg.warmup) {
+          ns.push_back(static_cast<u64>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+        }
+      }
+    } catch (const std::exception& e) {
+      std::cout << "FAIL  " << name << ": " << e.what() << "\n";
+      ++failures;
+      continue;
+    }
+    const TimedStats s = bench::stats_of(std::move(ns));
+    cases[name]["median_ns"] = s.median_ns;
+    cases[name]["iqr_ns"] = s.iqr_ns;
+    cases[name]["mad_ns"] = s.mad_ns;
+    cases[name]["min_ns"] = s.min_ns;
+    cases[name]["reps"] = s.reps;
+    cases[name]["slabs"] = st.slabs;
+    cases[name]["rows_read"] = st.rows_read;
+    cases[name]["triangles"] = st.triangles;
+    cases[name]["k_pieces"] = st.k_pieces;
+    cases[name]["peak_resident_bytes"] = st.peak_resident_bytes;
+    cases[name]["max_rss_bytes"] = st.max_rss_bytes;
+    std::cout << "  " << name << ": median " << s.median_ns / 1000000 << " ms, " << st.slabs
+              << " slabs, peak resident " << st.peak_resident_bytes / 1024 << " KiB (budget "
+              << (u64{B} * kResidentBytesGatePerSlab) / 1024 << " KiB), max rss "
+              << st.max_rss_bytes / (1 << 20) << " MiB\n";
+  }
+  std::remove(asc_path.c_str());
+  std::cout << "residency gate: " << rows << "-row DEM vs " << (slab_rows + 2)
+            << "-row slab windows under " << (kResidentBytesGatePerSlab >> 20)
+            << " MiB per resident slab" << (failures ? " FAILED\n" : "\n");
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--out") {
+      if (const char* v = next()) cfg.out = v;
+    } else if (arg == "--reps") {
+      if (const char* v = next()) cfg.reps = std::atoi(v);
+    } else if (arg == "--warmup") {
+      if (const char* v = next()) cfg.warmup = std::atoi(v);
+    } else if (arg == "--quick") {
+      cfg.quick = true;
+      cfg.reps = 3;
+    } else if (arg == "--no-pin") {
+      cfg.pin = false;
+    } else {
+      std::cerr << "usage: bench_stream [--out FILE] [--reps N] [--warmup N] [--quick] "
+                   "[--no-pin]\n";
+      return 2;
+    }
+  }
+  if (cfg.reps < 1 || cfg.warmup < 0) {
+    std::cerr << "bench_stream: --reps must be >= 1 and --warmup >= 0\n";
+    return 2;
+  }
+
+  const bool pinned = cfg.pin && thsr::bench::pin_this_thread();
+  std::cout << "bench_stream: " << cfg.reps << " reps, " << cfg.warmup << " warmup, "
+            << (pinned ? "pinned" : "unpinned") << (cfg.quick ? ", quick" : "") << "\n";
+
+  TimedCaseMap cases;
+  const int identity_failures = run_identity_gate(cases);
+  const int residency_failures = run_tall_case(cases, cfg);
+
+  std::map<std::string, std::string> meta;
+  meta["git_sha"] = thsr::bench::git_sha();
+  meta["host"] = thsr::bench::host_fingerprint();
+  meta["pinned"] = pinned ? "1" : "0";
+  meta["reps"] = std::to_string(cfg.reps);
+  meta["warmup"] = std::to_string(cfg.warmup);
+  meta["quick"] = cfg.quick ? "1" : "0";
+  meta["resident_bytes_gate_per_slab"] = std::to_string(kResidentBytesGatePerSlab);
+  meta["timestamp"] = thsr::bench::utc_timestamp();
+  thsr::bench::write_timed_json(cases, meta, cfg.out);
+  std::cout << "wrote " << cases.size() << " cases to " << cfg.out << "\n";
+
+  const int failures = identity_failures + residency_failures;
+  if (failures) std::cout << failures << " streaming gate violation(s)\n";
+  return failures ? 1 : 0;
+}

@@ -40,6 +40,9 @@
 #include "raster/raster.hpp"
 #include "service/engine_cache.hpp"
 #include "shard/sharded_engine.hpp"
+#include "stream/sinks.hpp"
+#include "stream/stream.hpp"
+#include "stream_grids.hpp"
 #include "timing.hpp"
 
 namespace {
@@ -211,6 +214,38 @@ void run_service_cases(CaseMap& cases, const Config& cfg) {
   }
 }
 
+/// Out-of-core streaming solves: the full pipeline (prescan, per-slab
+/// build/prepare/solve, band scan, aggregation) over an in-memory grid —
+/// the wall clock bench_stream's gates bound in bytes. resident_slabs = 2
+/// keeps two solves in flight for the scaling lane; the peak tracked
+/// residency is stamped next to the timing.
+void run_stream_cases(CaseMap& cases, const Config& cfg) {
+  const AscGrid g = bench::stream_grid(32, 481, /*seed=*/11);
+  for (const Lane& ln : lanes()) {
+    const std::string name = std::string("stream/synth/c32r481/s32b2") + lane_suffix(ln);
+    if (!selected(cfg, name)) continue;
+    stream::StreamOptions opt;
+    opt.slab_rows = 32;
+    opt.resident_slabs = 2;
+    opt.width = 160;
+    opt.height = 120;
+    opt.supersample = 2;
+    opt.solve.algorithm = Algorithm::Parallel;
+    opt.solve.threads = ln.threads;
+    opt.solve.backend = ln.backend;
+    u64 peak = 0;
+    const TimedStats s = bench::measure(
+        [&] {
+          stream::NullBandSink sink;
+          stream::GridRowSource src(g);
+          peak = stream::stream_solve(src, opt, sink).peak_resident_bytes;
+        },
+        cfg.warmup, cfg.reps);
+    record(cases, name, s, ln);
+    cases[name]["peak_resident_bytes"] = peak;
+  }
+}
+
 std::optional<CaseMap> load_artifact(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
@@ -302,6 +337,7 @@ int main(int argc, char** argv) {
   run_shard_cases(cases, cfg);
   run_raster_cases(cases, cfg);
   run_service_cases(cases, cfg);
+  run_stream_cases(cases, cfg);
 
   std::map<std::string, std::string> meta;
   meta["git_sha"] = thsr::bench::git_sha();

@@ -1,26 +1,16 @@
 #pragma once
-/// Deterministic random segment soup for benches (mirrors tests/test_util
-/// without a gtest dependency).
+/// Deterministic random segment soup for benches: a thin wrapper over the
+/// shared generator (support/random_segments.hpp) keeping this header's
+/// historical signature and default range. No gtest dependency.
 
-#include <random>
 #include <vector>
 
-#include "geometry/predicates.hpp"
+#include "support/random_segments.hpp"
 
 namespace thsr::bench {
 
 inline std::vector<Seg2> random_segments_for_bench(std::size_t n, u64 seed, i64 range = 100'000) {
-  std::mt19937_64 g{seed};
-  std::uniform_int_distribution<i64> coord(-range, range);
-  std::vector<Seg2> out;
-  out.reserve(n);
-  while (out.size() < n) {
-    const i64 u0 = coord(g), u1 = coord(g);
-    if (u0 == u1) continue;
-    const i64 v0 = coord(g), v1 = coord(g);
-    out.push_back(u0 < u1 ? Seg2{u0, v0, u1, v1} : Seg2{u1, v1, u0, v0});
-  }
-  return out;
+  return support::random_segments(seed, n, range);
 }
 
 }  // namespace thsr::bench

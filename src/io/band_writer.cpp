@@ -1,0 +1,109 @@
+#include "io/band_writer.hpp"
+
+#include <stdexcept>
+
+#include "support/check.hpp"
+#include "terrain/asc_io.hpp"
+
+namespace thsr::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw std::runtime_error("band_writer: " + msg); }
+
+}  // namespace
+
+PgmBandWriter::PgmBandWriter(const std::string& path, u32 width, u32 height,
+                             std::uint16_t maxval)
+    : width_(width), height_(height), maxval_(maxval) {
+  if (width == 0 || height == 0) fail("empty image");
+  if (maxval == 0) fail("maxval must be positive");
+  os_.open(path, std::ios::binary | std::ios::trunc);
+  if (!os_) fail("cannot open '" + path + "' for writing");
+  os_ << "P5\n" << width_ << ' ' << height_ << '\n' << maxval_ << '\n';
+  payload_ = os_.tellp();
+  // Zero payload up front: the file reaches its final size before any
+  // band lands, and unwritten columns read back as 0 mid-run.
+  const std::vector<char> zeros(std::size_t{width_} * 2, 0);
+  for (u32 r = 0; r < height_; ++r) os_.write(zeros.data(), zeros.size());
+  if (!os_) fail("write failed for '" + path + "'");
+  covered_.assign(width_, 0);
+}
+
+PgmBandWriter::~PgmBandWriter() = default;
+
+void PgmBandWriter::write_band(u32 col_lo, u32 col_hi, std::span<const std::uint16_t> samples) {
+  if (finished_) fail("write_band after finish()");
+  if (col_lo >= col_hi || col_hi > width_) fail("band columns out of range");
+  const u32 bw = col_hi - col_lo;
+  if (samples.size() < std::size_t{bw} * height_) fail("band sample buffer too small");
+  for (u32 c = col_lo; c < col_hi; ++c) {
+    if (covered_[c]) fail("band overlaps already-written column " + std::to_string(c));
+  }
+  std::vector<char> row(std::size_t{bw} * 2);
+  for (u32 r = 0; r < height_; ++r) {
+    for (u32 c = 0; c < bw; ++c) {
+      const std::uint16_t v = samples[std::size_t{r} * bw + c];
+      if (v > maxval_) fail("sample exceeds maxval");
+      row[std::size_t{c} * 2] = static_cast<char>(v >> 8);  // big-endian per the P5 spec
+      row[std::size_t{c} * 2 + 1] = static_cast<char>(v & 0xff);
+    }
+    os_.seekp(payload_ + (std::streamoff{r} * width_ + col_lo) * 2);
+    os_.write(row.data(), row.size());
+  }
+  if (!os_) fail("write failed");
+  for (u32 c = col_lo; c < col_hi; ++c) covered_[c] = 1;
+}
+
+void PgmBandWriter::finish() {
+  if (finished_) return;
+  for (u32 c = 0; c < width_; ++c) {
+    if (!covered_[c]) fail("column " + std::to_string(c) + " was never written (gap)");
+  }
+  os_.flush();
+  if (!os_) fail("flush failed");
+  finished_ = true;
+}
+
+AscTileSet::AscTileSet(std::string prefix, u32 width, u32 height, double xll, double yll,
+                       double cellsize, double nodata)
+    : prefix_(std::move(prefix)),
+      width_(width),
+      height_(height),
+      xll_(xll),
+      yll_(yll),
+      cellsize_(cellsize),
+      nodata_(nodata) {
+  if (width == 0 || height == 0) fail("empty tile set");
+  covered_.assign(width_, 0);
+}
+
+std::string AscTileSet::write_tile(u32 col_lo, u32 col_hi, std::span<const double> values) {
+  if (col_lo >= col_hi || col_hi > width_) fail("tile columns out of range");
+  const u32 bw = col_hi - col_lo;
+  if (values.size() < std::size_t{bw} * height_) fail("tile value buffer too small");
+  for (u32 c = col_lo; c < col_hi; ++c) {
+    if (covered_[c]) fail("tile overlaps already-written column " + std::to_string(c));
+  }
+  AscGrid g;
+  g.ncols = bw;
+  g.nrows = height_;
+  g.xll = xll_ + static_cast<double>(col_lo) * cellsize_;
+  g.yll = yll_;
+  g.cellsize = cellsize_;
+  g.nodata = nodata_;
+  g.values.assign(values.begin(), values.begin() + std::ptrdiff_t{bw} * height_);
+  const std::string path =
+      prefix_ + "_c" + std::to_string(col_lo) + "_" + std::to_string(col_hi) + ".asc";
+  save_asc_grid(g, path);
+  for (u32 c = col_lo; c < col_hi; ++c) covered_[c] = 1;
+  paths_.push_back(path);
+  return path;
+}
+
+void AscTileSet::finish() {
+  for (u32 c = 0; c < width_; ++c) {
+    if (!covered_[c]) fail("column " + std::to_string(c) + " was never written (gap)");
+  }
+}
+
+}  // namespace thsr::io

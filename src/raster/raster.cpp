@@ -121,15 +121,15 @@ struct ColumnScratch {
   std::vector<double> sub_depths;
 };
 
-/// Scan-convert sub-column `i` (owned by `cs`) into sub-slot `k` of the
-/// scratch: gather visible crossings, sort by (z, nearness), then sweep
-/// the sample ordinates bottom-up attributing each sample to the
-/// near-side triangle of its upper crossing.
+/// Scan-convert sub-column `i` (owned by `cs`) into the height*s-sample
+/// spans `out_ids`/`out_depths`: gather visible crossings, sort by
+/// (z, nearness), then sweep the sample ordinates bottom-up attributing
+/// each sample to the near-side triangle of its upper crossing.
 void scan_sub_column(const ColumnSet& cs, const ImageWindow& w, u32 width, u32 height, u32 s,
-                     u32 i, u32 k, ColumnScratch& sc, u64& crossings_out, u64& hits_out) {
+                     u32 i, std::vector<Crossing>& cr, std::span<u32> out_ids,
+                     std::span<double> out_depths, u64& crossings_out, u64& hits_out) {
   const u32 hs = height * s;
   const QY y0 = sample_y(w, width, s, i);
-  auto& cr = sc.crossings;
   cr.clear();
   for (const u32 e : cs.buckets[i - cs.sub_lo]) {
     cr.push_back(Crossing{seg_value_at(cs.terrain->image_segment(e), y0),
@@ -159,8 +159,8 @@ void scan_sub_column(const ColumnSet& cs, const ImageWindow& w, u32 width, u32 h
         ++hits_out;
       }
     }
-    sc.sub_ids[std::size_t{k} * hs + j] = tri;
-    sc.sub_depths[std::size_t{k} * hs + j] = dep;
+    out_ids[j] = tri;
+    out_depths[j] = dep;
   }
 }
 
@@ -217,7 +217,10 @@ ImageRaster rasterize_impl(std::vector<ColumnSet> sets, const RasterOptions& opt
         }
       }
       if (owner != nullptr && owner->terrain != nullptr) {
-        scan_sub_column(*owner, win, W, H, s, i, k, sc, crossings, hits);
+        const std::size_t hs = std::size_t{H} * s;
+        scan_sub_column(*owner, win, W, H, s, i, sc.crossings,
+                        std::span(sc.sub_ids).subspan(k * hs, hs),
+                        std::span(sc.sub_depths).subspan(k * hs, hs), crossings, hits);
       }
     }
     detail::aggregate_column(static_cast<u32>(c), W, H, s, sc.sub_ids, sc.sub_depths, out.ids,
@@ -301,31 +304,20 @@ ImageRaster rasterize_sharded(const shard::ShardPlan& plan,
   check_options(opt);
   THSR_CHECK(plan.source != nullptr && slab_maps.size() == plan.slabs.size());
   const ImageWindow win = opt.window ? *opt.window : default_window(*plan.source);
-  const u32 nsub = opt.width * opt.supersample;
   // The slab owning sub-column i is the unique s with cuts[s] <= y_i <
   // cuts[s+1] (last window closed) — the shard owner rule over the sample
   // ordinates. Columns outside [cuts.front(), cuts.back()] have no owner
   // and stay background, exactly as no visible piece reaches them
   // monolithically.
-  const auto first_sub = [&](i64 cut, bool strictly_greater) {
-    u32 lo = 0, hi = nsub;
-    while (lo < hi) {
-      const u32 mid = lo + (hi - lo) / 2;
-      const int c = cmp(sample_y(win, opt.width, opt.supersample, mid), cut);
-      if (c < 0 || (strictly_greater && c == 0)) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
-  };
   std::vector<ColumnSet> sets;
   const std::size_t S = plan.slabs.size();
   for (std::size_t s = 0; s < S; ++s) {
-    const u32 lo = first_sub(plan.cuts[s], /*strictly_greater=*/false);
-    const u32 hi = s + 1 < S ? first_sub(plan.cuts[s + 1], /*strictly_greater=*/false)
-                             : first_sub(plan.cuts[s + 1], /*strictly_greater=*/true);
+    const u32 lo = first_sub(win, opt.width, opt.supersample, plan.cuts[s],
+                             /*strictly_greater=*/false);
+    const u32 hi = s + 1 < S ? first_sub(win, opt.width, opt.supersample, plan.cuts[s + 1],
+                                         /*strictly_greater=*/false)
+                             : first_sub(win, opt.width, opt.supersample, plan.cuts[s + 1],
+                                         /*strictly_greater=*/true);
     if (lo >= hi) continue;  // no sample ordinate falls in this slab
     ColumnSet cs;
     if (slab_maps[s] != nullptr) {
@@ -338,6 +330,63 @@ ImageRaster rasterize_sharded(const shard::ShardPlan& plan,
     sets.push_back(std::move(cs));
   }
   return rasterize_impl(std::move(sets), opt, win);
+}
+
+u32 first_sub(const ImageWindow& w, u32 width, u32 supersample, i64 cut, bool strictly_greater) {
+  u32 lo = 0, hi = width * supersample;
+  while (lo < hi) {
+    const u32 mid = lo + (hi - lo) / 2;
+    const int c = cmp(sample_y(w, width, supersample, mid), cut);
+    if (c < 0 || (strictly_greater && c == 0)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+BandScan scan_band(const Terrain* t, const VisibilityMap* m, const std::vector<u32>* tri_map,
+                   const ImageWindow& win, const RasterOptions& opt, u32 sub_lo, u32 sub_hi) {
+  check_options(opt);
+  THSR_CHECK(win.y_lo < win.y_hi && win.z_lo < win.z_hi);
+  THSR_CHECK(sub_lo <= sub_hi && sub_hi <= opt.width * opt.supersample);
+  const u32 H = opt.height, s = opt.supersample;
+  const std::size_t hs = std::size_t{H} * s;
+
+  BandScan out;
+  out.sub_lo = sub_lo;
+  out.sub_hi = sub_hi;
+  const u32 n = sub_hi - sub_lo;
+  out.ids.assign(std::size_t{n} * hs, kNoTriangle);
+  out.depths.assign(std::size_t{n} * hs, 0.0);
+  if (t == nullptr || n == 0) return out;  // background band
+  THSR_CHECK(m != nullptr && m->edge_slots() == t->edge_count());
+
+  const par::ScopedConfig cfg(opt.threads, opt.backend);
+  if (opt.backend) THSR_CHECK(cfg.backend_applied());
+
+  ColumnSet cs;
+  cs.terrain = t;
+  cs.map = m;
+  cs.tri_map = tri_map;
+  cs.sub_lo = sub_lo;
+  cs.sub_hi = sub_hi;
+  cs.adj = build_adjacency(*t);
+  fill_buckets(cs, win, opt.width, s);
+
+  std::vector<u64> sub_crossings(n, 0), sub_hits(n, 0);
+  par::fan_items(n, [&](std::size_t k) {
+    std::vector<Crossing> cr;
+    scan_sub_column(cs, win, opt.width, H, s, sub_lo + static_cast<u32>(k), cr,
+                    std::span(out.ids).subspan(k * hs, hs),
+                    std::span(out.depths).subspan(k * hs, hs), sub_crossings[k], sub_hits[k]);
+  });
+  for (u32 k = 0; k < n; ++k) {
+    out.crossings += sub_crossings[k];
+    out.hit_samples += sub_hits[k];
+  }
+  return out;
 }
 
 namespace detail {

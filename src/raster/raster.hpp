@@ -154,6 +154,38 @@ ImageRaster rasterize_sharded(const shard::ShardPlan& plan,
                               std::span<const VisibilityMap* const> slab_maps,
                               const RasterOptions& opt = {});
 
+/// Smallest sub-column index in [0, width*supersample] whose exact sample
+/// ordinate is >= `cut` (> `cut` when `strictly_greater`): the band-
+/// ownership binary search shared by rasterize_sharded and the out-of-core
+/// streaming pipeline (src/stream/). Exact (QY comparison), so two callers
+/// always agree on where a band starts.
+u32 first_sub(const ImageWindow& w, u32 width, u32 supersample, i64 cut, bool strictly_greater);
+
+/// Sub-column samples of a contiguous band [sub_lo, sub_hi) of the image,
+/// scan-converted from one terrain + (unstitched, possibly rebased) map:
+/// the building block the streaming pipeline aggregates into pixel bands.
+/// `ids`/`depths` are sub-column-major — sub-column sub_lo+i's samples at
+/// [i*height*s, (i+1)*height*s), top row first — so the s sub-columns of a
+/// pixel column sit contiguously in exactly the layout
+/// detail::aggregate_column consumes.
+struct BandScan {
+  u32 sub_lo{0}, sub_hi{0};   ///< the band scanned, in image sub-columns
+  std::vector<u32> ids;       ///< (sub_hi-sub_lo) * height*s visible ids
+  std::vector<double> depths; ///< matching depths (0 where no hit)
+  u64 crossings{0};           ///< visible-edge crossings scanned (exact)
+  u64 hit_samples{0};         ///< samples that hit a triangle (exact)
+};
+
+/// Scan-convert the band [sub_lo, sub_hi) against one terrain + map. A
+/// null `t` produces a background band (all kNoTriangle, zero counters).
+/// `tri_map` translates local to source triangle ids (null = identity).
+/// Fanned over the fork-join backend; bit-identical across backends and
+/// thread counts, and — summed over any banding of the image under the
+/// same window — bit-identical to the counters and samples `rasterize`
+/// produces monolithically (tests/test_stream.cpp).
+BandScan scan_band(const Terrain* t, const VisibilityMap* m, const std::vector<u32>* tri_map,
+                   const ImageWindow& win, const RasterOptions& opt, u32 sub_lo, u32 sub_hi);
+
 namespace detail {
 
 /// Aggregate the s x (height*s) samples of one output column `c` into its

@@ -1,0 +1,63 @@
+#include "stream/sinks.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace thsr::stream {
+
+MemoryBandSink::MemoryBandSink(u32 width, u32 height, u32 supersample) {
+  image_.width = width;
+  image_.height = height;
+  image_.supersample = supersample;
+  const std::size_t px = std::size_t{width} * height;
+  image_.ids.assign(px, raster::kNoTriangle);
+  image_.depth.assign(px, 0.0f);
+  image_.coverage.assign(px, 0.0f);
+  image_.samples = u64{width} * supersample * height * supersample;
+}
+
+void MemoryBandSink::emit(u32 col_lo, u32 col_hi, const raster::ImageRaster& band) {
+  THSR_CHECK(col_lo < col_hi && col_hi <= image_.width);
+  THSR_CHECK(band.width == col_hi - col_lo && band.height == image_.height);
+  image_.window = band.window;
+  for (u32 r = 0; r < band.height; ++r) {
+    const std::size_t src = std::size_t{r} * band.width;
+    const std::size_t dst = std::size_t{r} * image_.width + col_lo;
+    for (u32 c = 0; c < band.width; ++c) {
+      image_.ids[dst + c] = band.ids[src + c];
+      image_.depth[dst + c] = band.depth[src + c];
+      image_.coverage[dst + c] = band.coverage[src + c];
+    }
+  }
+  image_.crossings += band.crossings;
+  image_.hit_samples += band.hit_samples;
+  bands_.emplace_back(col_lo, col_hi);
+}
+
+PgmCoverageBandSink::PgmCoverageBandSink(const std::string& path, u32 width, u32 height)
+    : writer_(path, width, height) {}
+
+void PgmCoverageBandSink::emit(u32 col_lo, u32 col_hi, const raster::ImageRaster& band) {
+  std::vector<std::uint16_t> samples(band.coverage.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<std::uint16_t>(
+        std::llround(static_cast<double>(band.coverage[i]) * 65535.0));
+  }
+  writer_.write_band(col_lo, col_hi, samples);
+}
+
+AscTileBandSink::AscTileBandSink(std::string prefix, u32 width, u32 height, double cellsize)
+    : tiles_(std::move(prefix), width, height, /*xll=*/0.0, /*yll=*/0.0, cellsize) {}
+
+void AscTileBandSink::emit(u32 col_lo, u32 col_hi, const raster::ImageRaster& band) {
+  std::vector<double> values(band.ids.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = band.ids[i] == raster::kNoTriangle ? tiles_.nodata()
+                                                   : static_cast<double>(band.depth[i]);
+  }
+  tiles_.write_tile(col_lo, col_hi, values);
+}
+
+}  // namespace thsr::stream

@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <streambuf>
+
+#include "support/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define THSR_ASC_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace thsr {
 namespace {
@@ -17,6 +29,8 @@ inline constexpr u32 kNoVert = 0xffffffffu;  ///< lattice site with no data vert
 /// hostile or corrupt header (two 1e9 dims = an 8 EB reserve) inside the
 /// documented runtime_error contract instead of bad_alloc/OOM. 10^8
 /// doubles is ~800 MB — far beyond anything the lattice budget can use.
+/// The streaming reader (AscRowReader) caps only ncols by this: it buffers
+/// one row at a time, never the grid, which is its whole point.
 inline constexpr std::size_t kMaxAscSamples = 100'000'000;
 
 [[noreturn]] void fail(const std::string& what, std::size_t lineno = 0) {
@@ -29,17 +43,21 @@ std::string lower(std::string s) {
   return s;
 }
 
-}  // namespace
-
-AscGrid load_asc_grid(std::istream& is) {
-  AscGrid g;
+/// Shared header parser behind load_asc_grid and AscRowReader. Reads
+/// header lines until the first data line. In consume mode (`pending` not
+/// null) that data line lands in *pending; in seek mode the stream is
+/// repositioned to its start, which requires a seekable source.
+AscHeader parse_asc_header(std::istream& is, std::string* pending) {
+  AscHeader g;
   bool saw_ncols = false, saw_nrows = false, saw_x = false, saw_y = false, saw_cell = false;
   bool x_centered = false, y_centered = false;
   std::size_t lineno = 0;
   std::string line;
-  std::string pending;  // first data line (the one that ended the header)
 
-  while (std::getline(is, line)) {
+  while (true) {
+    const std::istream::pos_type before = pending == nullptr ? is.tellg()
+                                                             : std::istream::pos_type(-1);
+    if (!std::getline(is, line)) break;
     ++lineno;
     std::istringstream ls(line);
     std::string key;
@@ -47,7 +65,15 @@ AscGrid load_asc_grid(std::istream& is) {
     const std::string k = lower(key);
     const bool is_key = !k.empty() && (std::isalpha(static_cast<unsigned char>(k[0])) != 0);
     if (!is_key) {
-      pending = line;  // header over: this line already holds data
+      // Header over: this line already holds data.
+      if (pending != nullptr) {
+        *pending = line;
+      } else {
+        is.clear();
+        if (before == std::istream::pos_type(-1) || !is.seekg(before)) {
+          fail("streaming reads need a seekable source");
+        }
+      }
       break;
     }
     double v = 0;
@@ -83,6 +109,22 @@ AscGrid load_asc_grid(std::istream& is) {
   if (!saw_x || !saw_y || !saw_cell) fail("header is missing the origin or cellsize");
   if (x_centered != y_centered) fail("header mixes llcorner and llcenter origin keys");
   g.cell_centered = x_centered;
+  return g;
+}
+
+}  // namespace
+
+AscGrid load_asc_grid(std::istream& is) {
+  std::string pending;  // first data line (the one that ended the header)
+  const AscHeader h = parse_asc_header(is, &pending);
+  AscGrid g;
+  g.ncols = h.ncols;
+  g.nrows = h.nrows;
+  g.xll = h.xll;
+  g.yll = h.yll;
+  g.cell_centered = h.cell_centered;
+  g.cellsize = h.cellsize;
+  g.nodata = h.nodata;
 
   const std::size_t want = static_cast<std::size_t>(g.ncols) * g.nrows;
   if (want > kMaxAscSamples) {
@@ -250,6 +292,195 @@ Terrain load_asc(std::istream& is, const AscTerrainOptions& opt) {
 
 Terrain load_asc(const std::string& path, const AscTerrainOptions& opt) {
   return terrain_from_asc(load_asc_grid(path), opt);
+}
+
+namespace {
+
+/// Zero-copy seekable streambuf over a byte range (the mmap view). Only
+/// the get area is wired up; seekoff/seekpos make tellg/seekg work so the
+/// row-offset index applies to mapped and file-backed readers alike.
+class MemBuf : public std::streambuf {
+ public:
+  MemBuf(const char* b, const char* e) : b_(b), e_(e) {
+    setg(const_cast<char*>(b_), const_cast<char*>(b_), const_cast<char*>(e_));
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir, std::ios_base::openmode which) override {
+    if ((which & std::ios_base::in) == 0) return pos_type(off_type(-1));
+    const char* base = dir == std::ios_base::beg ? b_ : dir == std::ios_base::cur ? gptr() : e_;
+    const char* target = base + off;
+    if (target < b_ || target > e_) return pos_type(off_type(-1));
+    setg(const_cast<char*>(b_), const_cast<char*>(target), const_cast<char*>(e_));
+    return pos_type(target - b_);
+  }
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+
+ private:
+  const char* b_;
+  const char* e_;
+};
+
+}  // namespace
+
+struct AscRowReader::Impl {
+  std::ifstream file;                    ///< file-backed fallback
+  std::unique_ptr<MemBuf> membuf;        ///< mmap view, when mapped
+  std::unique_ptr<std::istream> owned;   ///< istream over membuf
+  std::istream* in{nullptr};             ///< whichever source backs reads
+
+  void* map_addr{nullptr};
+  std::size_t map_len{0};
+
+  AscHeader header;
+  u32 next_row{0};
+  std::istream::pos_type payload_pos{0};
+  std::vector<std::istream::pos_type> row_off;  ///< start offset of each visited row
+
+  ~Impl() {
+#ifdef THSR_ASC_MMAP
+    if (map_addr != nullptr) ::munmap(map_addr, map_len);
+#endif
+  }
+
+  void init() {
+    header = parse_asc_header(*in, /*pending=*/nullptr);
+    if (header.ncols > kMaxAscSamples) {
+      fail("row of " + std::to_string(header.ncols) + " samples exceeds the per-row cap");
+    }
+    payload_pos = in->tellg();
+  }
+
+  void read_one(std::span<double> out) {
+    THSR_CHECK(out.size() >= header.ncols);
+    if (next_row >= header.nrows) {
+      fail("read past the last row (" + std::to_string(header.nrows) + " declared)");
+    }
+    if (row_off.size() == next_row) row_off.push_back(in->tellg());
+    for (u32 c = 0; c < header.ncols; ++c) {
+      double v = 0;
+      if (!(*in >> v)) {
+        if (in->eof()) {
+          fail("row " + std::to_string(next_row) + " ends after " + std::to_string(c) + " of " +
+               std::to_string(header.ncols) +
+               " samples (payload truncated or header dims oversized)");
+        }
+        fail("non-numeric height sample in row " + std::to_string(next_row));
+      }
+      out[c] = v;
+    }
+    ++next_row;
+  }
+};
+
+AscRowReader::AscRowReader(std::istream& is) : impl_(std::make_unique<Impl>()) {
+  impl_->in = &is;
+  impl_->init();
+}
+
+AscRowReader::AscRowReader(const std::string& path, bool prefer_mmap)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+#ifdef THSR_ASC_MMAP
+  if (prefer_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                            MAP_PRIVATE, fd, 0);
+        if (addr != MAP_FAILED) {
+          im.map_addr = addr;
+          im.map_len = static_cast<std::size_t>(st.st_size);
+          const char* b = static_cast<const char*>(addr);
+          im.membuf = std::make_unique<MemBuf>(b, b + im.map_len);
+          im.owned = std::make_unique<std::istream>(im.membuf.get());
+          im.in = im.owned.get();
+        }
+      }
+      ::close(fd);
+    }
+  }
+#else
+  (void)prefer_mmap;
+#endif
+  if (im.in == nullptr) {
+    im.file.open(path);
+    if (!im.file) throw std::runtime_error("load_asc: cannot open " + path);
+    im.in = &im.file;
+  }
+  im.init();
+}
+
+AscRowReader::~AscRowReader() = default;
+AscRowReader::AscRowReader(AscRowReader&&) noexcept = default;
+AscRowReader& AscRowReader::operator=(AscRowReader&&) noexcept = default;
+
+const AscHeader& AscRowReader::header() const noexcept { return impl_->header; }
+bool AscRowReader::mapped() const noexcept { return impl_->map_addr != nullptr; }
+u32 AscRowReader::next_row() const noexcept { return impl_->next_row; }
+
+void AscRowReader::read_row(std::span<double> out) { impl_->read_one(out); }
+
+void AscRowReader::skip_rows(u32 n) {
+  std::vector<double> scratch(impl_->header.ncols);
+  for (u32 i = 0; i < n; ++i) impl_->read_one(scratch);
+}
+
+void AscRowReader::read_rows(u32 row_lo, u32 row_hi, std::span<double> out) {
+  Impl& im = *impl_;
+  if (row_lo > row_hi || row_hi > im.header.nrows) {
+    fail("window rows [" + std::to_string(row_lo) + ", " + std::to_string(row_hi) +
+         ") outside the declared " + std::to_string(im.header.nrows) + " rows");
+  }
+  THSR_CHECK(out.size() >= static_cast<std::size_t>(row_hi - row_lo) * im.header.ncols);
+  if (row_lo < im.next_row) {
+    // Already visited: its byte offset is on record — seek, do not reparse.
+    im.in->clear();
+    if (!im.in->seekg(im.row_off[row_lo])) fail("seek to recorded row offset failed");
+    im.next_row = row_lo;
+  } else if (row_lo > im.next_row) {
+    skip_rows(row_lo - im.next_row);
+  }
+  for (u32 r = row_lo; r < row_hi; ++r) {
+    im.read_one(out.subspan(static_cast<std::size_t>(r - row_lo) * im.header.ncols));
+  }
+}
+
+void AscRowReader::reset() {
+  Impl& im = *impl_;
+  im.in->clear();
+  if (!im.in->seekg(im.payload_pos)) fail("seek to payload start failed");
+  im.next_row = 0;
+}
+
+AscGrid load_asc_window(const std::string& path, u32 row_lo, u32 row_hi) {
+  AscRowReader r(path);
+  const AscHeader& h = r.header();
+  if (row_lo >= row_hi || row_hi > h.nrows) {
+    fail("window rows [" + std::to_string(row_lo) + ", " + std::to_string(row_hi) +
+         ") outside the declared " + std::to_string(h.nrows) + " rows");
+  }
+  const std::size_t want = static_cast<std::size_t>(row_hi - row_lo) * h.ncols;
+  if (want > kMaxAscSamples) {
+    fail("window declares " + std::to_string(want) + " samples, over the " +
+         std::to_string(kMaxAscSamples) + " loader cap");
+  }
+  AscGrid g;
+  g.ncols = h.ncols;
+  g.nrows = row_hi - row_lo;
+  g.xll = h.xll;
+  // The window's southernmost row is source row row_hi-1: the dropped
+  // southern rows shift the lower-left origin north.
+  g.yll = h.yll + static_cast<double>(h.nrows - row_hi) * h.cellsize;
+  g.cell_centered = h.cell_centered;
+  g.cellsize = h.cellsize;
+  g.nodata = h.nodata;
+  g.values.resize(want);
+  r.read_rows(row_lo, row_hi, g.values);
+  return g;
 }
 
 }  // namespace thsr

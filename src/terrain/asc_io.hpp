@@ -24,7 +24,9 @@
 /// heights), with the offending line in the message.
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -104,5 +106,77 @@ Terrain terrain_from_asc(const AscGrid& g, const AscTerrainOptions& opt = {},
 /// Parse + resample in one step.
 Terrain load_asc(std::istream& is, const AscTerrainOptions& opt = {});
 Terrain load_asc(const std::string& path, const AscTerrainOptions& opt = {});
+
+/// An .asc header alone — ncols/nrows and georeferencing exactly as the
+/// file states them, no samples. What the streaming reader hands out
+/// before any row is parsed.
+struct AscHeader {
+  u32 ncols{0}, nrows{0};
+  double xll{0}, yll{0};
+  bool cell_centered{false};
+  double cellsize{1.0};
+  std::optional<double> nodata;
+};
+
+/// Streaming row reader for .asc payloads: parses the header eagerly and
+/// the height samples one row at a time, so a grid far larger than
+/// resident memory never materializes as a whole — the feed for the
+/// out-of-core pipeline (src/stream/). Unlike `load_asc_grid` there is
+/// **no total-sample cap**: only one row (ncols doubles) is buffered per
+/// read. Error contract matches the loaders: std::runtime_error on any
+/// malformed input — short payloads, a row cut off by EOF, non-numeric
+/// samples, header dims larger than the data actually present — never a
+/// crash or UB (tests/test_io.cpp drives the adversarial corpus under
+/// ASan).
+///
+/// The path constructor memory-maps the file when the platform allows
+/// (zero-copy: the payload is parsed straight out of the mapping through
+/// a streambuf view) and falls back to buffered ifstream reads; the
+/// istream constructor serves in-memory tests. Either way the underlying
+/// source must be seekable: byte offsets of visited rows are recorded as
+/// the reader advances, so windowed re-reads (`read_rows`) and a second
+/// pass (`reset`, e.g. a z-range prescan before the solve pass) seek
+/// instead of re-parsing from the top.
+class AscRowReader {
+ public:
+  /// Wrap a seekable stream (not owned; must outlive the reader).
+  explicit AscRowReader(std::istream& is);
+  /// Open `path`, memory-mapping it when possible.
+  explicit AscRowReader(const std::string& path, bool prefer_mmap = true);
+  ~AscRowReader();
+  AscRowReader(AscRowReader&&) noexcept;
+  AscRowReader& operator=(AscRowReader&&) noexcept;
+
+  const AscHeader& header() const noexcept;
+  bool mapped() const noexcept;    ///< true when reading out of an mmap
+  u32 next_row() const noexcept;   ///< index of the next unread row
+
+  /// Parse the next row's ncols samples into `out` (size() >= ncols).
+  /// Throws when the payload ends mid-row or holds a non-numeric token.
+  void read_row(std::span<double> out);
+
+  /// Parse and discard the next `n` rows (they are validated like any
+  /// read — skipping is not seeking past unchecked bytes unless the rows
+  /// were visited before, in which case the recorded offset is used).
+  void skip_rows(u32 n);
+
+  /// Read rows [row_lo, row_hi) into `out`, row-major ((row_hi - row_lo)
+  /// * ncols doubles). Rows before next_row() are reachable again via
+  /// their recorded offsets; rows beyond are parsed forward.
+  void read_rows(u32 row_lo, u32 row_hi, std::span<double> out);
+
+  /// Rewind to the first payload row (a new pass; offsets are kept).
+  void reset();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Windowed load: rows [row_lo, row_hi) of the file as an AscGrid whose
+/// georeferencing is shifted to the window (yll moves north past the
+/// dropped southern rows). Bitwise-identical values to the same rows of a
+/// whole-file `load_asc_grid` (tests/test_io.cpp round-trips both).
+AscGrid load_asc_window(const std::string& path, u32 row_lo, u32 row_hi);
 
 }  // namespace thsr

@@ -7,25 +7,17 @@
 
 #include "envelope/envelope.hpp"
 #include "geometry/predicates.hpp"
+#include "support/random_segments.hpp"
 
 namespace thsr::test {
 
 /// Deterministic RNG (never std::random_device in tests).
 inline std::mt19937_64 rng(u64 seed) { return std::mt19937_64{seed}; }
 
-/// Random non-vertical segments with integer coordinates in [-range, range].
+/// Random non-vertical segments with integer coordinates in [-range, range]
+/// (the shared generator, support/random_segments.hpp).
 inline std::vector<Seg2> random_segments(u64 seed, std::size_t n, i64 range = 1000) {
-  auto g = rng(seed);
-  std::uniform_int_distribution<i64> coord(-range, range);
-  std::vector<Seg2> out;
-  out.reserve(n);
-  while (out.size() < n) {
-    const i64 u0 = coord(g), u1 = coord(g);
-    if (u0 == u1) continue;
-    const i64 v0 = coord(g), v1 = coord(g);
-    out.push_back(u0 < u1 ? Seg2{u0, v0, u1, v1} : Seg2{u1, v1, u0, v0});
-  }
-  return out;
+  return support::random_segments(seed, n, range);
 }
 
 inline std::vector<u32> iota_ids(std::size_t n) {
