@@ -37,8 +37,10 @@
 #include "core/engine.hpp"
 #include "flat_json.hpp"
 #include "parallel/backend.hpp"
+#include "raster/oracle.hpp"
 #include "raster/raster.hpp"
 #include "service/engine_cache.hpp"
+#include "support/terrain_families.hpp"
 #include "shard/sharded_engine.hpp"
 #include "stream/sinks.hpp"
 #include "stream/stream.hpp"
@@ -412,6 +414,79 @@ int run_stream_cases(CaseMap& cases) {
   return failures;
 }
 
+/// Resolution-bounded workloads (DESIGN.md section 1.12). Counter cases
+/// gate the bounded solve's work against the baseline; two built-in hard
+/// gates defend the mode's contract on every CI run: at the budget's
+/// matching resolution the bounded raster must be bit-identical to the
+/// exact solve's raster AND to the brute-force ray-cast oracle (for the
+/// parallel and sequential algorithms alike), and the dense-staircase
+/// family — whose visible map is dominated by sub-pixel pieces — must
+/// show at least a 20% drop in both k_pieces and treap_nodes versus the
+/// exact solve. Returns the number of gate failures.
+int run_bounded_cases(CaseMap& cases) {
+  const Terrain terr = support::dense_staircase(48, /*seed=*/5);
+  raster::RasterOptions ropt;
+  ropt.width = 64;
+  ropt.height = 48;
+  ropt.threads = 2;
+  const HsrOptions exact_opt{.algorithm = Algorithm::Parallel, .threads = 2};
+  HsrOptions bounded_opt = exact_opt;
+  bounded_opt.pixel_budget = raster::pixel_budget(terr, ropt);
+  const HsrResult exact = hidden_surface_removal(terr, exact_opt);
+  const HsrResult bounded = hidden_surface_removal(terr, bounded_opt);
+  const raster::ImageRaster img_e = raster::rasterize(terr, exact.map, ropt);
+  const raster::ImageRaster img_b = raster::rasterize(terr, bounded.map, ropt);
+
+  int failures = 0;
+  const std::string name = "bounded/stair/g48/r64";
+  if (img_b.ids != img_e.ids || img_b.depth != img_e.depth || img_b.coverage != img_e.coverage ||
+      img_b.crossings != img_e.crossings || img_b.hit_samples != img_e.hit_samples) {
+    std::cout << "FAIL  " << name << ": bounded raster differs from exact raster\n";
+    ++failures;
+  }
+  const raster::ImageRaster oracle = raster::raycast_reference(terr, ropt);
+  if (img_b.ids != oracle.ids || img_b.depth != oracle.depth ||
+      img_b.coverage != oracle.coverage) {
+    std::cout << "FAIL  " << name << ": bounded raster differs from ray-cast oracle\n";
+    ++failures;
+  }
+  HsrOptions seq_opt = bounded_opt;
+  seq_opt.algorithm = Algorithm::Sequential;
+  const HsrResult seq = hidden_surface_removal(terr, seq_opt);
+  const raster::ImageRaster img_s = raster::rasterize(terr, seq.map, ropt);
+  if (img_s.ids != img_e.ids || img_s.depth != img_e.depth || img_s.coverage != img_e.coverage) {
+    std::cout << "FAIL  " << name << ": sequential bounded raster differs from exact raster\n";
+    ++failures;
+  }
+
+  const auto require_drop = [&](const char* what, u64 exact_v, u64 bounded_v) {
+    const double kept = exact_v == 0 ? 1.0
+                                     : static_cast<double>(bounded_v) /
+                                           static_cast<double>(exact_v);
+    if (kept > 0.80) {
+      std::cout << "FAIL  " << name << ": " << what << " kept " << Table::num(100.0 * kept, 1)
+                << "% of exact (" << exact_v << " -> " << bounded_v
+                << "); the bounded mode must prune >= 20% here\n";
+      ++failures;
+    }
+  };
+  require_drop("k_pieces", exact.stats.k_pieces, bounded.stats.k_pieces);
+  require_drop("treap_nodes", exact.stats.treap_nodes, bounded.stats.treap_nodes);
+
+  cases[name] = to_counter_map(bounded.stats.work);
+  cases[name]["k_pieces"] = bounded.stats.k_pieces;
+  cases[name]["treap_nodes"] = bounded.stats.treap_nodes;
+  cases[name]["phase1_pieces"] = bounded.stats.phase1_pieces;
+  cases[name]["crossings"] = img_b.crossings;
+  cases[name]["hit_samples"] = img_b.hit_samples;
+  // The exact-side counters ride along so the artifact shows the pruning
+  // ratio directly (and the baseline pins both sides of it).
+  cases["bounded/stair/g48/exact"] = CounterMap{{"k_pieces", exact.stats.k_pieces},
+                                                {"treap_nodes", exact.stats.treap_nodes},
+                                                {"phase1_pieces", exact.stats.phase1_pieces}};
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -470,9 +545,14 @@ int main(int argc, char** argv) {
   // identity and enforced resident-bytes gates.
   const int stream_failures = run_stream_cases(cases);
 
+  // Resolution-bounded solves: baseline cases + the bitwise raster-identity
+  // and >= 20% pruning gates.
+  const int bounded_failures = run_bounded_cases(cases);
+
   write_json(cases, out_path);
   std::cout << "wrote " << cases.size() << " cases to " << out_path << "\n";
-  const int gate_failures = shard_failures + raster_failures + service_failures + stream_failures;
+  const int gate_failures =
+      shard_failures + raster_failures + service_failures + stream_failures + bounded_failures;
   if (shard_failures) {
     // Reported now, but keep going: a single run should surface both this
     // and any baseline regressions below.
@@ -486,6 +566,9 @@ int main(int argc, char** argv) {
   }
   if (stream_failures) {
     std::cout << stream_failures << " streaming identity/residency violation(s)\n";
+  }
+  if (bounded_failures) {
+    std::cout << bounded_failures << " bounded-solve identity/pruning violation(s)\n";
   }
 
   if (check_path.empty()) return gate_failures ? 1 : 0;

@@ -43,6 +43,7 @@
 #include "stream/sinks.hpp"
 #include "stream/stream.hpp"
 #include "stream_grids.hpp"
+#include "support/terrain_families.hpp"
 #include "timing.hpp"
 
 namespace {
@@ -246,6 +247,57 @@ void run_stream_cases(CaseMap& cases, const Config& cfg) {
   }
 }
 
+/// Resolution-bounded raster workloads (DESIGN.md section 1.12): the
+/// end-to-end cost a raster consumer pays — warm solve plus scan-convert
+/// at the budget's resolution — exact vs bounded on the dense-staircase
+/// family whose counter drop bench_ci gates. Both cases land in one
+/// artifact; the run prints a per-lane verdict marking the delta
+/// significant only when it clears both cases' IQRs (the same bar as
+/// --diff).
+void run_bounded_cases(CaseMap& cases, const Config& cfg) {
+  const Terrain terr = support::dense_staircase(48, /*seed=*/5);
+  HsrEngine eng;
+  eng.prepare(terr);
+  for (const Lane& ln : lanes()) {
+    raster::RasterOptions ropt;
+    ropt.width = 64;
+    ropt.height = 48;
+    ropt.threads = ln.threads;
+    ropt.backend = ln.backend;
+    TimedStats timings[2]{};
+    bool have[2]{false, false};
+    for (const int bounded : {0, 1}) {
+      const std::string name = std::string("bounded/stair/g48/r64/") +
+                               (bounded ? "bounded" : "exact") + lane_suffix(ln);
+      if (!selected(cfg, name)) continue;
+      HsrOptions opt{
+          .algorithm = Algorithm::Parallel, .threads = ln.threads, .backend = ln.backend};
+      if (bounded) opt.pixel_budget = raster::pixel_budget(terr, ropt);
+      const TimedStats s = bench::measure(
+          [&] {
+            HsrResult r = eng.solve(opt);
+            (void)raster::rasterize(terr, r.map, ropt);
+            eng.recycle(std::move(r));
+          },
+          cfg.warmup, cfg.reps);
+      record(cases, name, s, ln);
+      timings[bounded] = s;
+      have[bounded] = true;
+    }
+    if (have[0] && have[1]) {
+      const u64 e = timings[0].median_ns, b = timings[1].median_ns;
+      const u64 delta = e > b ? e - b : b - e;
+      const bool signif = delta > timings[0].iqr_ns && delta > timings[1].iqr_ns;
+      std::cout << "  bounded/stair/g48/r64" << lane_suffix(ln) << ": bounded is "
+                << Table::num(100.0 * (static_cast<double>(e) - static_cast<double>(b)) /
+                                  static_cast<double>(e),
+                              1)
+                << "% faster than exact ("
+                << (signif ? "significant: delta clears both IQRs" : "noise") << ")\n";
+    }
+  }
+}
+
 std::optional<CaseMap> load_artifact(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
@@ -338,6 +390,7 @@ int main(int argc, char** argv) {
   run_raster_cases(cases, cfg);
   run_service_cases(cases, cfg);
   run_stream_cases(cases, cfg);
+  run_bounded_cases(cases, cfg);
 
   std::map<std::string, std::string> meta;
   meta["git_sha"] = thsr::bench::git_sha();

@@ -70,12 +70,17 @@ inline u32 provenance(u32 profile_edge) noexcept {
 }
 
 /// Convert a transition walk over [a, b] into visible pieces of `edge`.
+/// With `prune` (a bounded solve), pieces whose closed extent is sample-free
+/// are dropped — they cover no raster sample (DESIGN.md section 1.12).
 void emit_visible(u32 edge, const QY& a, const QY& b, int initial,
-                  std::span<const TransitionEvent> events, VisibilityMap& map);
+                  std::span<const TransitionEvent> events, VisibilityMap& map,
+                  const BoundedPrune* prune = nullptr);
 
-VisibilityMap run_reference(const HsrContext& ctx, Workspace& ws, HsrStats& stats);
-VisibilityMap run_sequential(const HsrContext& ctx, Workspace& ws, HsrStats& stats);
+VisibilityMap run_reference(const HsrContext& ctx, Workspace& ws, HsrStats& stats,
+                            const BoundedPrune* prune);
+VisibilityMap run_sequential(const HsrContext& ctx, Workspace& ws, HsrStats& stats,
+                             const BoundedPrune* prune);
 VisibilityMap run_parallel(const HsrContext& ctx, Workspace& ws, HsrStats& stats,
-                           bool layer_stats, Phase2Oracle oracle);
+                           bool layer_stats, Phase2Oracle oracle, const BoundedPrune* prune);
 
 }  // namespace thsr::detail

@@ -72,12 +72,19 @@ HsrResult solve_on(detail::HsrContext& ctx, detail::Workspace& ws, const Counter
   ws.arena.reset();  // recycle every block from the previous solve
   const Counters before = thread_scope ? work::local_snapshot() : work::snapshot();
 
+  // Resolution-bounded solve: one predicate instance, shared read-only by
+  // every thread of this solve (BoundedPrune validates the budget).
+  std::optional<BoundedPrune> bounded;
+  if (opt.pixel_budget) bounded.emplace(*opt.pixel_budget);
+  const BoundedPrune* prune = bounded ? &*bounded : nullptr;
+
   VisibilityMap map{0};
   switch (opt.algorithm) {
-    case Algorithm::Reference: map = detail::run_reference(ctx, ws, stats); break;
-    case Algorithm::Sequential: map = detail::run_sequential(ctx, ws, stats); break;
+    case Algorithm::Reference: map = detail::run_reference(ctx, ws, stats, prune); break;
+    case Algorithm::Sequential: map = detail::run_sequential(ctx, ws, stats, prune); break;
     case Algorithm::Parallel:
-      map = detail::run_parallel(ctx, ws, stats, opt.collect_layer_stats, opt.phase2_oracle);
+      map = detail::run_parallel(ctx, ws, stats, opt.collect_layer_stats, opt.phase2_oracle,
+                                 prune);
       break;
   }
 

@@ -39,18 +39,24 @@ HsrContext make_context(const Terrain& t) {
 }
 
 void emit_visible(u32 edge, const QY& a, const QY& b, int initial,
-                  std::span<const TransitionEvent> events, VisibilityMap& map) {
+                  std::span<const TransitionEvent> events, VisibilityMap& map,
+                  const BoundedPrune* prune) {
   int state = initial;
   QY open_y = a;
   EndpointKind open_k = EndpointKind::SegmentEnd;
   u32 open_o = kNoEdge;
+  // Bounded solve: a piece whose closed extent contains no sample ordinate
+  // cannot influence the raster (closed-containment bucketing) — skip it.
+  const auto keep = [&](const QY& y0, const QY& y1) {
+    return prune == nullptr || !prune->sample_free(y0, y1);
+  };
   for (const TransitionEvent& ev : events) {
     if (ev.new_state == state) continue;  // defensive: walks never emit these
     if (ev.new_state == +1) {
       open_y = ev.y;
       open_k = ev.kind == EventKind::Cross ? EndpointKind::Crossing : EndpointKind::Break;
       open_o = provenance(ev.profile_edge);
-    } else if (state == +1) {
+    } else if (state == +1 && keep(open_y, ev.y)) {
       map.add_piece(edge, VisiblePiece{open_y, ev.y, open_k,
                                        ev.kind == EventKind::Cross ? EndpointKind::Crossing
                                                                    : EndpointKind::Break,
@@ -58,7 +64,7 @@ void emit_visible(u32 edge, const QY& a, const QY& b, int initial,
     }
     state = ev.new_state;
   }
-  if (state == +1) {
+  if (state == +1 && keep(open_y, b)) {
     map.add_piece(edge, VisiblePiece{open_y, b, open_k, EndpointKind::SegmentEnd, open_o, kNoEdge});
   }
 }

@@ -35,6 +35,7 @@
 
 #include <optional>
 
+#include "core/bounded.hpp"
 #include "core/visibility.hpp"
 #include "parallel/backend.hpp"
 #include "parallel/work_depth.hpp"
@@ -64,6 +65,16 @@ struct HsrOptions {
   /// (which honors the THSR_BACKEND environment override). The backend
   /// never changes the output or the counted work, only wall clock.
   std::optional<par::Backend> backend{};
+  /// Resolution-bounded solve (core/bounded.hpp): prune map structure whose
+  /// closed y-extent contains no sample ordinate of this lattice. The map
+  /// may differ from the exact solve inside sample-free intervals (and per
+  /// algorithm), but `raster::rasterize` at the budget's window/resolution
+  /// is bitwise identical to the exact pipeline and the brute-force oracle
+  /// (DESIGN.md section 1.12); k_pieces/treap_nodes/envelope work drop on
+  /// sub-pixel-dense scenes. For a fixed algorithm the bounded map and its
+  /// counters keep the backend/thread-count determinism contract. nullopt =
+  /// exact solve, bit-identical to a build without this field.
+  std::optional<PixelBudget> pixel_budget{};
 };
 
 /// Per-PCT-layer instrumentation (benches table_f1 / table_f3).

@@ -42,7 +42,8 @@ namespace {
 // once per node and queried by linear scans (the ablation path).
 ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
                           const HsrContext& ctx, std::atomic<u64>& splices,
-                          Phase2Oracle oracle, PhaseScratch& ps_scratch) {
+                          Phase2Oracle oracle, PhaseScratch& ps_scratch,
+                          const BoundedPrune* prune) {
   if (pi.empty()) return P;
   const auto ps = pi.pieces();
   const auto m = static_cast<i64>(ps.size());
@@ -82,10 +83,24 @@ ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
   const auto close = [&](const QY& end) {
     if (!open) return;
     THSR_DCHECK(!content.empty());
-    cur = ptreap::replace_range(arena, cur, run0, end, content, ctx.segs);
-    ++n_splices;
+    // Bounded solve: a sample-free run's splice is unobservable at every
+    // sample ordinate — skip it and all its persistent node allocations.
+    if (prune == nullptr || !prune->sample_free(run0, end)) {
+      cur = ptreap::replace_range(arena, cur, run0, end, content, ctx.segs);
+      ++n_splices;
+    }
     content.clear();
     open = false;
+  };
+  // Bounded solve: coalesce a sample-free content piece into its contiguous
+  // predecessor (keeping the predecessor's edge) — fewer leaves per splice,
+  // fewer treap nodes, no sample can tell.
+  const auto push_content = [&](const QY& y0, const QY& y1, u32 edge) {
+    if (prune != nullptr && !content.empty() && prune->sample_free(y0, y1)) {
+      content.back().y1 = y1;
+    } else {
+      content.push_back({y0, y1, edge});
+    }
   };
 
   QY prev_end;
@@ -104,7 +119,7 @@ ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
       close(p.y0);
     }
     for (const TransitionEvent& ev : events[j]) {
-      if (st == +1) content.push_back({pos, ev.y, p.edge});
+      if (st == +1) push_content(pos, ev.y, p.edge);
       if (ev.new_state == +1) {
         THSR_DCHECK(!open);
         open = true;
@@ -115,7 +130,7 @@ ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
       pos = ev.y;
       st = ev.new_state;
     }
-    if (st == +1) content.push_back({pos, p.y1, p.edge});
+    if (st == +1) push_content(pos, p.y1, p.edge);
     prev_end = p.y1;
     have_prev = true;
   }
@@ -125,7 +140,7 @@ ptreap::Ref merge_profile(PArena& arena, ptreap::Ref P, const Envelope& pi,
 }
 
 void process_leaf(u32 e, ptreap::Ref P, const HsrContext& ctx, VisibilityMap& map,
-                  PhaseScratch& scratch, Phase2Oracle oracle) {
+                  PhaseScratch& scratch, Phase2Oracle oracle, const BoundedPrune* prune) {
   const Terrain& t = *ctx.terrain;
   if (ctx.is_sliver[e]) {
     const SliverInfo sv = t.sliver(e);
@@ -157,13 +172,13 @@ void process_leaf(u32 e, ptreap::Ref P, const HsrContext& ctx, VisibilityMap& ma
   } else {
     initial = walk_transitions(P, s, a, b, ctx.segs, events);
   }
-  emit_visible(e, a, b, initial, events, map);
+  emit_visible(e, a, b, initial, events, map, prune);
 }
 
 }  // namespace
 
 VisibilityMap run_parallel(const HsrContext& ctx, Workspace& ws, HsrStats& stats,
-                           bool layer_stats, Phase2Oracle oracle) {
+                           bool layer_stats, Phase2Oracle oracle, const BoundedPrune* prune) {
   const Terrain& t = *ctx.terrain;
   const auto n = static_cast<u32>(t.edge_count());
   VisibilityMap map{t.edge_count(), std::move(ws.map_storage)};
@@ -184,9 +199,9 @@ VisibilityMap run_parallel(const HsrContext& ctx, Workspace& ws, HsrStats& stats
         if (!ctx.is_sliver[e]) env[v] = Envelope::of_segment(e, ctx.segs[e]);
       } else if (inner_parallel) {
         env[v] = merge_envelopes_parallel(env[nd.left], env[nd.right], ctx.segs,
-                                          kEnvMergeStrips);
+                                          kEnvMergeStrips, prune);
       } else {
-        env[v] = merge_envelopes(env[nd.left], env[nd.right], ctx.segs);
+        env[v] = merge_envelopes(env[nd.left], env[nd.right], ctx.segs, nullptr, prune);
       }
     };
     // The strip-vs-plain merge decision must not depend on max_threads():
@@ -240,11 +255,12 @@ VisibilityMap run_parallel(const HsrContext& ctx, Workspace& ws, HsrStats& stats
       const ptreap::Ref P = inherited[v];
       THSR_DCHECK(bool(P));
       if (nd.leaf()) {
-        process_leaf(ctx.order.order[nd.lo], P, ctx, map, scratch, oracle);
+        process_leaf(ctx.order.order[nd.lo], P, ctx, map, scratch, oracle, prune);
         return;
       }
       inherited[nd.left] = P;
-      inherited[nd.right] = merge_profile(arena, P, env[nd.left], ctx, splices, oracle, scratch);
+      inherited[nd.right] =
+          merge_profile(arena, P, env[nd.left], ctx, splices, oracle, scratch, prune);
     };
 
     if (static_cast<i64>(nodes.size()) < 2 * par::max_threads()) {

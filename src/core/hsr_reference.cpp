@@ -17,7 +17,7 @@ namespace {
 // Emit the visible runs of s (edge e) against the flat envelope `env`,
 // scanning the pieces that overlap [A, B].
 void reference_edge(const Envelope& env, u32 e, const Seg2& s, std::span<const Seg2> segs,
-                    VisibilityMap& map) {
+                    VisibilityMap& map, const BoundedPrune* prune) {
   const QY A = QY::of(s.u0), B = QY::of(s.u1);
 
   int state = -1;
@@ -37,7 +37,10 @@ void reference_edge(const Envelope& env, u32 e, const Seg2& s, std::span<const S
       state = -1;
       return;
     }
-    map.add_piece(e, VisiblePiece{open_y, y, open_k, k, open_o, o});
+    // Bounded solve: a sample-free visible piece covers no raster sample.
+    if (prune == nullptr || !prune->sample_free(open_y, y)) {
+      map.add_piece(e, VisiblePiece{open_y, y, open_k, k, open_o, o});
+    }
     state = -1;
   };
 
@@ -79,7 +82,7 @@ void reference_edge(const Envelope& env, u32 e, const Seg2& s, std::span<const S
     cur = end;
     if (cur == p.y1) ++i;
   }
-  if (state == +1) {
+  if (state == +1 && (prune == nullptr || !prune->sample_free(open_y, B))) {
     map.add_piece(e, VisiblePiece{open_y, B, open_k, EndpointKind::SegmentEnd, open_o, kNoEdge});
   }
 }
@@ -104,7 +107,8 @@ SliverVisibility reference_sliver(const Envelope& env, const SliverInfo& sv,
 
 }  // namespace
 
-VisibilityMap run_reference(const HsrContext& ctx, Workspace& ws, HsrStats& stats) {
+VisibilityMap run_reference(const HsrContext& ctx, Workspace& ws, HsrStats& stats,
+                            const BoundedPrune* prune) {
   const Terrain& t = *ctx.terrain;
   VisibilityMap map{t.edge_count(), std::move(ws.map_storage)};
   Envelope profile;  // envelope of all non-sliver edges processed so far
@@ -116,8 +120,8 @@ VisibilityMap run_reference(const HsrContext& ctx, Workspace& ws, HsrStats& stat
       continue;
     }
     const Seg2& s = ctx.segs[e];
-    reference_edge(profile, e, s, ctx.segs, map);
-    profile = merge_envelopes(profile, Envelope::of_segment(e, s), ctx.segs);
+    reference_edge(profile, e, s, ctx.segs, map, prune);
+    profile = merge_envelopes(profile, Envelope::of_segment(e, s), ctx.segs, nullptr, prune);
   }
   stats.phase2_s = phase.seconds();
   return map;

@@ -11,7 +11,8 @@
 
 namespace thsr::detail {
 
-VisibilityMap run_sequential(const HsrContext& ctx, Workspace& ws, HsrStats& stats) {
+VisibilityMap run_sequential(const HsrContext& ctx, Workspace& ws, HsrStats& stats,
+                             const BoundedPrune* prune) {
   const Terrain& t = *ctx.terrain;
   VisibilityMap map{t.edge_count(), std::move(ws.map_storage)};
   PArena& arena = ws.arena;
@@ -42,12 +43,16 @@ VisibilityMap run_sequential(const HsrContext& ctx, Workspace& ws, HsrStats& sta
     const QY a = QY::of(s.u0), b = QY::of(s.u1);
     events.clear();
     const int initial = walk_transitions(profile, s, a, b, ctx.segs, events);
-    emit_visible(e, a, b, initial, events, map);
+    emit_visible(e, a, b, initial, events, map, prune);
 
     // Splice the visible (strictly-above) runs: profile := env(profile, s).
+    // Bounded solve: a sample-free run changes the profile only where no
+    // sample ordinate can observe it — skip the splice and every persistent
+    // node it would have allocated (DESIGN.md section 1.12).
     int state = initial;
     QY run0 = a;
     const auto splice = [&](const QY& from, const QY& to) {
+      if (prune != nullptr && prune->sample_free(from, to)) return;
       const PieceData piece{from, to, e};
       profile = ptreap::replace_range(arena, profile, from, to, std::span(&piece, 1), ctx.segs);
     };

@@ -7,34 +7,37 @@ namespace {
 
 constexpr std::size_t kParCutoff = 1024;
 
-Envelope build_rec(std::span<const u32> ids, std::span<const Seg2> segs, bool parallel) {
+Envelope build_rec(std::span<const u32> ids, std::span<const Seg2> segs, bool parallel,
+                   const BoundedPrune* prune) {
   if (ids.empty()) return Envelope{};
   if (ids.size() == 1) return Envelope::of_segment(ids[0], segs[ids[0]]);
   const std::size_t m = ids.size() / 2;
   Envelope l, r;
-  par::fork_join([&] { l = build_rec(ids.subspan(0, m), segs, parallel); },
-                 [&] { r = build_rec(ids.subspan(m), segs, parallel); },
+  par::fork_join([&] { l = build_rec(ids.subspan(0, m), segs, parallel, prune); },
+                 [&] { r = build_rec(ids.subspan(m), segs, parallel, prune); },
                  parallel && ids.size() >= kParCutoff);
   if (parallel && l.size() + r.size() >= 4 * kParCutoff) {
-    return merge_envelopes_parallel(l, r, segs, kEnvMergeStrips);
+    return merge_envelopes_parallel(l, r, segs, kEnvMergeStrips, prune);
   }
-  return merge_envelopes(l, r, segs);
+  return merge_envelopes(l, r, segs, nullptr, prune);
 }
 
 }  // namespace
 
-Envelope envelope_of(std::span<const u32> ids, std::span<const Seg2> segs, bool parallel) {
-  if (!parallel || par::max_threads() <= 1) return build_rec(ids, segs, false);
+Envelope envelope_of(std::span<const u32> ids, std::span<const Seg2> segs, bool parallel,
+                     const BoundedPrune* prune) {
+  if (!parallel || par::max_threads() <= 1) return build_rec(ids, segs, false, prune);
   Envelope out;
-  par::run_root_task([&] { out = build_rec(ids, segs, true); });
+  par::run_root_task([&] { out = build_rec(ids, segs, true, prune); });
   return out;
 }
 
 Envelope merge_envelopes_parallel(const Envelope& front, const Envelope& back,
-                                  std::span<const Seg2> segs, int strips) {
+                                  std::span<const Seg2> segs, int strips,
+                                  const BoundedPrune* prune) {
   if (front.empty() || back.empty() || strips <= 1 ||
       front.size() + back.size() < static_cast<std::size_t>(4 * strips)) {
-    return merge_envelopes(front, back, segs);
+    return merge_envelopes(front, back, segs, nullptr, prune);
   }
   // Cut abscissae sampled from the larger envelope's piece starts.
   const Envelope& big = front.size() >= back.size() ? front : back;
@@ -58,14 +61,24 @@ Envelope merge_envelopes_parallel(const Envelope& front, const Envelope& back,
       [&](i64 s) {
         const auto su = static_cast<std::size_t>(s);
         parts[su] = merge_envelopes(cut_envelope(front, cuts[su], cuts[su + 1]),
-                                    cut_envelope(back, cuts[su], cuts[su + 1]), segs);
+                                    cut_envelope(back, cuts[su], cuts[su + 1]), segs, nullptr,
+                                    prune);
       },
       /*grain=*/1);
 
   std::vector<EnvPiece> out;
   for (const Envelope& part : parts) {
     for (const EnvPiece& p : part.pieces()) {
-      if (!out.empty() && out.back().edge == p.edge && filt::cmp(out.back().y1, p.y0) == 0) {
+      // Bounded solve: a strip cut can strand a sample-free piece at a
+      // strip head; snap-merge it across the seam like merge_envelopes
+      // would have (same predicate, so same pruning power as the plain
+      // merge of the same content). Condition order mirrors the emit
+      // lambda there: edge equality, then the counter-silent sample_free,
+      // then the filtered compare — exact path and finest-budget compare
+      // telemetry both stay bit-identical.
+      if (!out.empty() &&
+          (out.back().edge == p.edge || (prune != nullptr && prune->sample_free(p.y0, p.y1))) &&
+          filt::cmp(out.back().y1, p.y0) == 0) {
         out.back().y1 = p.y1;  // heal seams split by a cut
       } else {
         out.push_back(p);

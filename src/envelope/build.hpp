@@ -20,14 +20,20 @@ inline constexpr int kEnvMergeStrips = 16;
 
 /// Upper envelope of segments `ids` (indices into `segs`). Front-to-back
 /// input order: the earlier id wins exact ties (occluder-wins convention).
+/// `prune` enables resolution-bounded snap-merging in every internal merge
+/// (see merge_envelopes); the cut/strip structure stays budget-independent.
 Envelope envelope_of(std::span<const u32> ids, std::span<const Seg2> segs,
-                     bool parallel = false);
+                     bool parallel = false, const BoundedPrune* prune = nullptr);
 
 /// Strip-parallel pointwise max of two envelopes: cuts the domain at
 /// `strips` sample abscissae and merges strips concurrently. Identical
 /// result to merge_envelopes (crossing events are not reported — pass
-/// events=nullptr semantics only).
+/// events=nullptr semantics only). `prune` snap-merges sample-free pieces
+/// inside each strip and across healed seams; the cut abscissae are chosen
+/// before pruning, so strip structure — and with it counter determinism
+/// across p — is unchanged.
 Envelope merge_envelopes_parallel(const Envelope& front, const Envelope& back,
-                                  std::span<const Seg2> segs, int strips);
+                                  std::span<const Seg2> segs, int strips,
+                                  const BoundedPrune* prune = nullptr);
 
 }  // namespace thsr

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/bounded.hpp"
 #include "geometry/predicates.hpp"
 
 namespace thsr {
@@ -83,8 +84,18 @@ class Envelope {
 /// `front` (the set closer to the viewer — the occluder). Reports each
 /// handover crossing to `events` when non-null. O(|front| + |back| + #cross)
 /// exact scan.
+///
+/// With `prune` (a resolution-bounded solve, core/bounded.hpp) a produced
+/// piece whose closed extent is sample-free snap-merges into its contiguous
+/// predecessor even across an edge change: the result is then only an upper
+/// envelope *at the budget's sample ordinates* (and in an open neighborhood
+/// of each — pruned closures exclude samples), which is exactly what the
+/// bounded pipeline consumes (DESIGN.md section 1.12). Pruning is a pure
+/// function of the two input envelopes, so the output keeps the
+/// backend/thread-count determinism contract.
 Envelope merge_envelopes(const Envelope& front, const Envelope& back,
-                         std::span<const Seg2> segs, std::vector<CrossEvent>* events = nullptr);
+                         std::span<const Seg2> segs, std::vector<CrossEvent>* events = nullptr,
+                         const BoundedPrune* prune = nullptr);
 
 /// Restriction of an envelope to [lo, hi] (pieces trimmed; test + parallel
 /// merge helper).

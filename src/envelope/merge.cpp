@@ -8,7 +8,8 @@ constexpr u32 kNoEdge = ~u32{0};
 }  // namespace
 
 Envelope merge_envelopes(const Envelope& front, const Envelope& back,
-                         std::span<const Seg2> segs, std::vector<CrossEvent>* events) {
+                         std::span<const Seg2> segs, std::vector<CrossEvent>* events,
+                         const BoundedPrune* prune) {
   const auto& A = front.pieces();
   const auto& B = back.pieces();
   if (A.empty()) return Envelope::from_pieces({B.begin(), B.end()});
@@ -18,7 +19,15 @@ Envelope merge_envelopes(const Envelope& front, const Envelope& back,
   out.reserve(A.size() + B.size());
   const auto emit = [&](const QY& y0, const QY& y1, u32 edge) {
     if (!(filt::cmp(y0, y1) < 0)) return;
-    if (!out.empty() && out.back().edge == edge && filt::cmp(out.back().y1, y0) == 0) {
+    // Bounded solve: a sample-free piece also snap-merges into its
+    // contiguous predecessor across an edge change — no sample ordinate can
+    // tell (the scan itself stays exact; only materialization is pruned).
+    // Edge equality first (exact path untouched), sample_free second
+    // (counter-silent), filtered compare last — so a finest-grained budget
+    // that prunes nothing leaves the compare telemetry bit-identical too.
+    if (!out.empty() &&
+        (out.back().edge == edge || (prune != nullptr && prune->sample_free(y0, y1))) &&
+        filt::cmp(out.back().y1, y0) == 0) {
       out.back().y1 = y1;
     } else {
       out.push_back({y0, y1, edge});

@@ -34,6 +34,15 @@
 /// make/join/split sequence runs node for node, so maps, shapes, and all
 /// work counters stay bit-identical to the pointer layout
 /// (tests/test_treap_property.cpp pins this against a pointer-based shim).
+///
+/// **Resolution-bounded solves (DESIGN.md section 1.12).** The treap itself
+/// has no pruning hook: under `HsrOptions::pixel_budget` the envelope layer
+/// coalesces sample-free pieces *before* they reach phase 2, so bounded
+/// runs insert fewer pieces per version and every path-copied spine is
+/// shorter. The HsrStats::treap_nodes drop that bench_ci gates on the
+/// dense staircase comes entirely from that upstream coalescing — no treap
+/// code branches on the budget, which is why bounded and exact versions
+/// remain structurally comparable (same hash-priority shape discipline).
 
 #include <memory>
 #include <mutex>

@@ -256,6 +256,14 @@ ImageWindow default_window(const Terrain& t) {
   return w;
 }
 
+PixelBudget pixel_budget(const Terrain& t, const RasterOptions& opt) {
+  THSR_CHECK(opt.width >= 1 && opt.supersample >= 1);
+  THSR_CHECK(u64{opt.width} * opt.supersample <= kMaxRasterAxis);
+  const ImageWindow win = opt.window ? *opt.window : default_window(t);
+  THSR_CHECK(win.y_lo < win.y_hi);
+  return PixelBudget{win.y_lo, win.y_hi, opt.width * opt.supersample};
+}
+
 QY sample_y(const ImageWindow& w, u32 width, u32 supersample, u32 i) {
   const i64 den = 2 * i64{width} * supersample;
   const i128 num = i128{w.y_lo} * den + i128{2 * i64{i} + 1} * (w.y_hi - w.y_lo);

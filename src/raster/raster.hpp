@@ -47,6 +47,7 @@
 #include <span>
 #include <vector>
 
+#include "core/bounded.hpp"
 #include "core/visibility.hpp"
 #include "parallel/backend.hpp"
 #include "shard/shard.hpp"
@@ -62,6 +63,8 @@ inline constexpr u32 kNoTriangle = 0xffffffffu;
 /// ordinate's denominator within the exact-arithmetic magnitude budget
 /// (DESIGN.md section 1.8).
 inline constexpr u32 kMaxRasterAxis = 4096;
+static_assert(kMaxRasterAxis == kMaxBudgetSamples,
+              "core/bounded.hpp's pruning magnitude analysis assumes the raster axis cap");
 
 /// Closed integer image-plane window [y_lo, y_hi] x [z_lo, z_hi]
 /// rasterized onto the pixel grid (y = image u axis, z = image v axis).
@@ -125,6 +128,14 @@ ImageWindow default_window(const Terrain& t);
 /// by the scan-converter and the ray-cast oracle so both sample the
 /// identical points.
 QY sample_y(const ImageWindow& w, u32 width, u32 supersample, u32 i);
+
+/// The PixelBudget describing exactly the y-sample lattice `rasterize`
+/// will use for these options on this terrain (opt.window resolved through
+/// default_window like rasterize does): plug it into
+/// HsrOptions::pixel_budget and the bounded solve's raster at these options
+/// is bitwise identical to the exact solve's (DESIGN.md section 1.12).
+/// Validates resolution bounds like rasterize (THSR_CHECK).
+PixelBudget pixel_budget(const Terrain& t, const RasterOptions& opt);
 
 /// Exact sample ordinate of image sub-row `j` in [0, height*s), counted
 /// from the top: the center of the j-th uniform strip of [z_hi, z_lo].

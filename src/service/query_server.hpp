@@ -38,6 +38,11 @@ namespace thsr::service {
 /// One viewpoint question against a registered terrain. `solve` selects
 /// algorithm and oracle; its `threads`/`backend` must stay unset (each
 /// query runs serially on its worker — the executor is the worker pool).
+/// `solve.pixel_budget` (DESIGN.md section 1.12) is honored per query:
+/// engine preparation is budget-independent, so exact and bounded
+/// queries against the same (terrain, viewpoint) share one cache entry,
+/// and a bounded reply rasterizes bit-identically to the exact one at
+/// the budget's matching resolution.
 struct Query {
   u64 terrain_id{0};
   Viewpoint viewpoint{};

@@ -1,0 +1,88 @@
+#pragma once
+/// \file terrain_families.hpp
+/// Shared deterministic terrain/DEM families for tests and benches — the
+/// single definition the suite's workload tables draw from, in the spirit
+/// of random_segments.hpp: one generator per family name means two
+/// consumers can never drift apart and produce different inputs for the
+/// same parameters. Everything here is a pure function of its arguments
+/// (mt19937_64 sequences are specified by the standard).
+
+#include <random>
+#include <vector>
+
+#include "terrain/asc_io.hpp"
+#include "terrain/generators.hpp"
+
+namespace thsr::support {
+
+/// One-call generator-family terrain (the helper test_shard.cpp and
+/// friends used to copy-paste): deterministic in every argument.
+inline Terrain make_family_terrain(Family f, u32 grid, u64 seed = 1, bool shear = true,
+                                   bool jitter = false) {
+  GenOptions opt;
+  opt.family = f;
+  opt.grid = grid;
+  opt.seed = seed;
+  opt.shear = shear;
+  opt.jitter = jitter;
+  return make_terrain(opt);
+}
+
+/// Dense-staircase family: a high-frequency jittered amphitheatre whose
+/// visible map is dominated by tiny staircase pieces. Rasterized at a low
+/// width (image columns << staircase steps) most pieces and crossings fall
+/// strictly inside one sample interval, which is exactly the structure a
+/// resolution-bounded solve (HsrOptions::pixel_budget) prunes — the family
+/// the bounded bench/test layer measures its counter drop on.
+inline Terrain dense_staircase(u32 grid, u64 seed = 1) {
+  GenOptions opt;
+  opt.family = Family::TerraceBack;
+  opt.grid = grid;
+  opt.seed = seed;
+  opt.shear = true;
+  opt.jitter = true;  // irregular steps: no two pieces share an extent
+  return make_terrain(opt);
+}
+
+/// Synthetic-DEM families (the table test_stream.cpp used to define
+/// privately): smooth relief, spiky outliers, NODATA holes, flat ties.
+enum class GridFamily { Smooth, Spiky, Holes, Flat };
+
+inline constexpr GridFamily kAllGridFamilies[] = {GridFamily::Smooth, GridFamily::Spiky,
+                                                  GridFamily::Holes, GridFamily::Flat};
+
+/// Deterministic synthetic DEM of the given family.
+inline AscGrid make_asc_grid(u32 cols, u32 rows, GridFamily fam, u64 seed) {
+  AscGrid g;
+  g.ncols = cols;
+  g.nrows = rows;
+  g.cellsize = 1.0;
+  g.nodata = -9999.0;
+  g.values.resize(std::size_t{rows} * cols);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  for (u32 r = 0; r < rows; ++r) {
+    for (u32 c = 0; c < cols; ++c) {
+      double v = 0.0;
+      switch (fam) {
+        case GridFamily::Smooth:
+          v = static_cast<double>((r * 3 + c * 2) % 17) + 4.0 * u01(rng);
+          break;
+        case GridFamily::Spiky:
+          v = u01(rng) < 0.1 ? 200.0 + 300.0 * u01(rng) : u01(rng);
+          break;
+        case GridFamily::Holes:
+          v = u01(rng) < 0.2 ? *g.nodata
+                             : static_cast<double>((r * 5 + c * 3) % 11) + 2.0 * u01(rng);
+          break;
+        case GridFamily::Flat:
+          v = 5.0;
+          break;
+      }
+      g.values[std::size_t{r} * cols + c] = v;
+    }
+  }
+  return g;
+}
+
+}  // namespace thsr::support

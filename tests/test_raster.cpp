@@ -145,6 +145,41 @@ TEST(RasterLimitsDeathTest, RejectsAxisBeyondCap) {
       "kMaxRasterAxis");
 }
 
+// Oracle hardening: zero resolutions, u32-wrapping supersample products,
+// and degenerate explicit windows must all abort — on the oracle, the
+// scan-converter, and the budget derivation alike, since a permissive
+// oracle would silently weaken every differential test built on it.
+TEST(RasterLimitsDeathTest, RejectsDegenerateResolutionsAndWindows) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Terrain t = gen(Family::Fbm, 8);
+  const HsrResult r = hidden_surface_removal(t);
+  EXPECT_DEATH((void)raster::raycast_reference(t, {.width = 0, .height = 4}), "width >= 1");
+  EXPECT_DEATH((void)raster::raycast_reference(t, {.width = 4, .height = 0}), "height >= 1");
+  EXPECT_DEATH((void)raster::raycast_reference(t, {.width = 4, .height = 4, .supersample = 0}),
+               "supersample >= 1");
+  EXPECT_DEATH((void)raster::rasterize(t, r.map, {.width = 4, .height = 4, .supersample = 0}),
+               "supersample >= 1");
+  // Supersampling-overflow regression: width * supersample wraps to 0 in
+  // u32 arithmetic, which a 32-bit product would wave through the cap.
+  // The checks multiply in u64 and must still abort.
+  EXPECT_DEATH(
+      (void)raster::raycast_reference(t, {.width = 1u << 31, .height = 4, .supersample = 2}),
+      "kMaxRasterAxis");
+  EXPECT_DEATH(
+      (void)raster::rasterize(t, r.map, {.width = 4, .height = 1u << 31, .supersample = 2}),
+      "kMaxRasterAxis");
+  EXPECT_DEATH(
+      (void)raster::pixel_budget(t, {.width = 1u << 31, .height = 4, .supersample = 2}),
+      "kMaxRasterAxis");
+  // Degenerate explicit windows (empty y extent, inverted z extent).
+  RasterOptions degenerate{.width = 4, .height = 4};
+  degenerate.window = raster::ImageWindow{5, 5, 0, 1};
+  EXPECT_DEATH((void)raster::raycast_reference(t, degenerate), "y_lo < win.y_hi");
+  EXPECT_DEATH((void)raster::pixel_budget(t, degenerate), "y_lo < win.y_hi");
+  degenerate.window = raster::ImageWindow{0, 1, 3, -3};
+  EXPECT_DEATH((void)raster::rasterize(t, r.map, degenerate), "z_lo < win.z_hi");
+}
+
 TEST(RasterLimits, AcceptsAxisAtCapExactly) {
   const Terrain t = gen(Family::Fbm, 8);
   const HsrResult r = hidden_surface_removal(t);
@@ -155,6 +190,11 @@ TEST(RasterLimits, AcceptsAxisAtCapExactly) {
   const ImageRaster ss = raster::rasterize(
       t, r.map, {.width = raster::kMaxRasterAxis / 2, .height = 2, .supersample = 2});
   EXPECT_EQ(ss.samples, u64{raster::kMaxRasterAxis} * 2 * 2);
+  // The budget derivation accepts the same boundary (kMaxBudgetSamples is
+  // static_asserted equal to kMaxRasterAxis).
+  const PixelBudget pb =
+      raster::pixel_budget(t, {.width = raster::kMaxRasterAxis / 2, .height = 2, .supersample = 2});
+  EXPECT_EQ(pb.y_samples, raster::kMaxRasterAxis);
 }
 
 TEST(Raster, ShardedEqualsMonolithic) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "raster/raster.hpp"
 #include "service/query_server.hpp"
 #include "terrain/generators.hpp"
 #include "test_util.hpp"
@@ -433,6 +434,57 @@ TEST(QueryServerTest, ServesQueriesBitIdenticalToDirectSolves) {
   EXPECT_EQ(s.dropped, u64{0});
   EXPECT_EQ(s.errors, u64{0});
   EXPECT_GT(server.cache_stats().hits, u64{0});  // repeated viewpoints hit
+}
+
+// Resolution-bounded queries (DESIGN.md section 1.12) flow through the
+// server via Query::solve.pixel_budget. Preparation is budget-independent,
+// so one cache entry serves exact and bounded queries alike, and at the
+// budget's matching resolution the bounded reply rasterizes bitwise
+// identically to the exact reply.
+TEST(QueryServerTest, BoundedQueriesShareTheCacheAndMatchExactRasters) {
+  const auto t = make_shared_terrain(Family::TerraceBack, 10);
+  QueryServer server({.workers = 1});  // serialize: exactly one miss, one hit
+  server.add_terrain(3, t);
+  const Viewpoint vp{.dir_x = 2, .dir_y = 1};
+  // Clients rasterize replies against the *view* terrain, so the budget is
+  // derived from its window.
+  const Terrain view = service::transform_terrain(*t, vp);
+  const raster::RasterOptions ropt{.width = 24, .height = 16};
+  HsrOptions bounded_opt;
+  bounded_opt.pixel_budget = raster::pixel_budget(view, ropt);
+
+  std::optional<QueryReply> exact, bounded;
+  std::mutex mu;
+  ASSERT_TRUE(server.submit(Query{.terrain_id = 3, .viewpoint = vp, .tag = 0},
+                            [&](QueryReply&& r) {
+                              const std::lock_guard<std::mutex> lk(mu);
+                              exact = std::move(r);
+                            }));
+  ASSERT_TRUE(server.submit(
+      Query{.terrain_id = 3, .viewpoint = vp, .solve = bounded_opt, .tag = 1},
+      [&](QueryReply&& r) {
+        const std::lock_guard<std::mutex> lk(mu);
+        bounded = std::move(r);
+      }));
+  server.drain();
+
+  ASSERT_TRUE(exact.has_value() && bounded.has_value());
+  ASSERT_EQ(exact->status, QueryStatus::Ok) << exact->error;
+  ASSERT_EQ(bounded->status, QueryStatus::Ok) << bounded->error;
+  const raster::ImageRaster img_e = raster::rasterize(view, exact->result->map, ropt);
+  const raster::ImageRaster img_b = raster::rasterize(view, bounded->result->map, ropt);
+  EXPECT_EQ(img_b.ids, img_e.ids);
+  EXPECT_EQ(img_b.depth, img_e.depth);
+  EXPECT_EQ(img_b.coverage, img_e.coverage);
+  EXPECT_EQ(img_b.crossings, img_e.crossings);
+  EXPECT_EQ(img_b.hit_samples, img_e.hit_samples);
+  // The bounded solve never materializes more than the exact one.
+  EXPECT_LE(bounded->result->stats.k_pieces, exact->result->stats.k_pieces);
+  EXPECT_LE(bounded->result->stats.treap_nodes, exact->result->stats.treap_nodes);
+  // Both budgets were served by the same prepared engine: the second query
+  // hit the (terrain, viewpoint) entry the first one built.
+  EXPECT_EQ(server.cache_stats().misses, u64{1});
+  EXPECT_GE(server.cache_stats().hits, u64{1});
 }
 
 TEST(QueryServerTest, BadQueriesYieldErrorRepliesNotCrashes) {

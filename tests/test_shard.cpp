@@ -20,19 +20,10 @@
 #include "shard/sharded_engine.hpp"
 #include "terrain/asc_io.hpp"
 #include "terrain/generators.hpp"
+#include "test_util.hpp"
 
 namespace thsr {
 namespace {
-
-Terrain make(Family f, u32 grid, u64 seed = 1, bool shear = true, bool jitter = false) {
-  GenOptions opt;
-  opt.family = f;
-  opt.grid = grid;
-  opt.seed = seed;
-  opt.shear = shear;
-  opt.jitter = jitter;
-  return make_terrain(opt);
-}
 
 /// Stitched-vs-monolithic equality modulo coalescing at the cut lines (the
 /// acceptance contract; first_difference is exact on piece intervals and
@@ -75,7 +66,7 @@ void expect_matches_monolithic(const Terrain& t, shard::ShardedEngine& engine,
 }
 
 TEST(Shard, DecomposePlanInvariants) {
-  const Terrain t = make(Family::Fbm, 12);
+  const Terrain t = test::make_family_terrain(Family::Fbm, 12);
   for (const u32 S : {1u, 2u, 7u, 16u}) {
     const shard::ShardPlan plan = shard::decompose(t, S);
     ASSERT_EQ(plan.cuts.size(), S + 1u);
@@ -126,7 +117,7 @@ TEST(Shard, DecomposePlanInvariants) {
 
 TEST(Shard, StitchMatchesMonolithicAcrossFamiliesAndSlabCounts) {
   for (const Family f : kAllFamilies) {
-    const Terrain t = make(f, 12);
+    const Terrain t = test::make_family_terrain(f, 12);
     for (const u32 S : {1u, 2u, 7u, 16u}) {
       shard::ShardedEngine engine;
       engine.prepare(t, S);
@@ -137,7 +128,7 @@ TEST(Shard, StitchMatchesMonolithicAcrossFamiliesAndSlabCounts) {
 }
 
 TEST(Shard, StitchMatchesMonolithicAcrossAlgorithmsAndOracles) {
-  const Terrain t = make(Family::Fbm, 14, 3);
+  const Terrain t = test::make_family_terrain(Family::Fbm, 14, 3);
   shard::ShardedEngine engine;
   engine.prepare(t, 7);
   for (const HsrOptions opt : {HsrOptions{.algorithm = Algorithm::Reference},
@@ -150,7 +141,7 @@ TEST(Shard, StitchMatchesMonolithicAcrossAlgorithmsAndOracles) {
 }
 
 TEST(Shard, StitchMatchesMonolithicAcrossBackends) {
-  const Terrain t = make(Family::TerraceBack, 12);
+  const Terrain t = test::make_family_terrain(Family::TerraceBack, 12);
   shard::ShardedEngine engine;
   engine.prepare(t, 4);
   for (const par::Backend b : par::available_backends()) {
@@ -161,7 +152,7 @@ TEST(Shard, StitchMatchesMonolithicAcrossBackends) {
 }
 
 TEST(Shard, RepeatedSolvesAreWarmAndIdentical) {
-  const Terrain t = make(Family::Valley, 12);
+  const Terrain t = test::make_family_terrain(Family::Valley, 12);
   shard::ShardedEngine engine;
   engine.prepare(t, 4);
   const HsrOptions opt{.algorithm = Algorithm::Parallel};
@@ -175,7 +166,7 @@ TEST(Shard, RepeatedSolvesAreWarmAndIdentical) {
 // uniform cuts land exactly on lattice ordinates — so slab lines run
 // through sliver edges and shared vertices: the boundary-ownership path.
 TEST(Shard, SliverEdgesExactlyOnSlabLines) {
-  const Terrain t = make(Family::Skyline, 12, 5, /*shear=*/false);
+  const Terrain t = test::make_family_terrain(Family::Skyline, 12, 5, /*shear=*/false);
   ASSERT_TRUE([&] {
     for (u32 e = 0; e < t.edge_count(); ++e) {
       if (t.is_sliver(e)) return true;
@@ -201,7 +192,7 @@ TEST(Shard, SliverEdgesExactlyOnSlabLines) {
 }
 
 TEST(Shard, JitteredIrregularTin) {
-  const Terrain t = make(Family::Fbm, 12, 9, /*shear=*/true, /*jitter=*/true);
+  const Terrain t = test::make_family_terrain(Family::Fbm, 12, 9, /*shear=*/true, /*jitter=*/true);
   shard::ShardedEngine engine;
   engine.prepare(t, 7);
   expect_matches_monolithic(t, engine, {.algorithm = Algorithm::Parallel}, "fbm-jitter/S=7");
@@ -209,7 +200,7 @@ TEST(Shard, JitteredIrregularTin) {
 
 // Two y-separated patches leave interior slabs with no triangles at all.
 TEST(Shard, EmptySlabsFromYGap) {
-  const Terrain base = make(Family::Spikes, 6);
+  const Terrain base = test::make_family_terrain(Family::Spikes, 6);
   std::vector<Vertex3> verts(base.vertices().begin(), base.vertices().end());
   std::vector<Triangle> tris(base.triangles().begin(), base.triangles().end());
   const i64 shift_y = 4 * (base.max_y() - base.min_y());
@@ -240,7 +231,7 @@ TEST(Shard, EmptySlabsFromYGap) {
 // More slabs than distinct lattice ordinates: repeated cuts, degenerate
 // zero-width windows.
 TEST(Shard, MoreSlabsThanLatticeLines) {
-  const Terrain t = make(Family::Fbm, 3);
+  const Terrain t = test::make_family_terrain(Family::Fbm, 3);
   ASSERT_LT(t.max_y() - t.min_y(), 10'000);
   shard::ShardedEngine engine;
   engine.prepare(t, 16);

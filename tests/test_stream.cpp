@@ -10,7 +10,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <random>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -23,45 +22,10 @@
 #include "stream/sinks.hpp"
 #include "stream/stream.hpp"
 #include "terrain/asc_io.hpp"
+#include "test_util.hpp"
 
 namespace thsr {
 namespace {
-
-enum class Family { Smooth, Spiky, Holes, Flat };
-
-/// Deterministic synthetic DEM of the given family.
-AscGrid make_grid(u32 cols, u32 rows, Family fam, u64 seed) {
-  AscGrid g;
-  g.ncols = cols;
-  g.nrows = rows;
-  g.cellsize = 1.0;
-  g.nodata = -9999.0;
-  g.values.resize(std::size_t{rows} * cols);
-  std::mt19937_64 rng(seed);
-  std::uniform_real_distribution<double> u01(0.0, 1.0);
-  for (u32 r = 0; r < rows; ++r) {
-    for (u32 c = 0; c < cols; ++c) {
-      double v = 0.0;
-      switch (fam) {
-        case Family::Smooth:
-          v = static_cast<double>((r * 3 + c * 2) % 17) + 4.0 * u01(rng);
-          break;
-        case Family::Spiky:
-          v = u01(rng) < 0.1 ? 200.0 + 300.0 * u01(rng) : u01(rng);
-          break;
-        case Family::Holes:
-          v = u01(rng) < 0.2 ? *g.nodata
-                             : static_cast<double>((r * 5 + c * 3) % 11) + 2.0 * u01(rng);
-          break;
-        case Family::Flat:
-          v = 5.0;
-          break;
-      }
-      g.values[std::size_t{r} * cols + c] = v;
-    }
-  }
-  return g;
-}
 
 /// The monolithic reference: full-grid terrain on the streaming lattice,
 /// one solve, one rasterization under the explicitly given window.
@@ -111,8 +75,8 @@ stream::StreamStats stream_grid(const AscGrid& g, const stream::StreamOptions& o
 TEST(Stream, MatchesMonolithicAcrossSeedsFamiliesAndBudgets) {
   const u32 W = 40, H = 30;
   for (const u64 seed : {u64{1}, u64{7}}) {
-    for (const Family fam : {Family::Smooth, Family::Spiky, Family::Holes, Family::Flat}) {
-      const AscGrid g = make_grid(20, 17, fam, seed);
+    for (const test::GridFamily fam : test::kAllGridFamilies) {
+      const AscGrid g = test::make_asc_grid(20, 17, fam, seed);
       // slab_rows=3 over 16 cell rows -> S = 6 slabs.
       const u32 S = 6;
       std::optional<raster::ImageRaster> ref;
@@ -143,7 +107,7 @@ TEST(Stream, MatchesMonolithicAcrossSeedsFamiliesAndBudgets) {
 
 TEST(Stream, MatchesMonolithicAcrossBackends) {
   const u32 W = 32, H = 24;
-  const AscGrid g = make_grid(16, 13, Family::Smooth, 3);
+  const AscGrid g = test::make_asc_grid(16, 13, test::GridFamily::Smooth, 3);
   std::optional<raster::ImageRaster> ref;
   std::optional<Counters> work;
   for (const par::Backend b : par::available_backends()) {
@@ -169,7 +133,7 @@ TEST(Stream, SupersampledBandBoundariesSplitPixelsCorrectly) {
   // supersample 3 with narrow slabs: band boundaries routinely land inside
   // a pixel column, exercising the sub-column carry.
   const u32 W = 25, H = 18, sup = 3;
-  const AscGrid g = make_grid(14, 15, Family::Smooth, 11);
+  const AscGrid g = test::make_asc_grid(14, 15, test::GridFamily::Smooth, 11);
   std::optional<raster::ImageRaster> ref;
   for (const u32 budget : {1u, 3u, 7u}) {
     stream::StreamOptions opt;
@@ -189,7 +153,7 @@ TEST(Stream, SupersampledBandBoundariesSplitPixelsCorrectly) {
 TEST(Stream, MatchesRasterizeSharded) {
   // Satellite fidelity check against the in-core sharded path itself.
   const u32 W = 36, H = 28;
-  const AscGrid g = make_grid(18, 13, Family::Smooth, 5);
+  const AscGrid g = test::make_asc_grid(18, 13, test::GridFamily::Smooth, 5);
   stream::StreamOptions opt;
   opt.slab_rows = 4;
   opt.width = W;
@@ -218,7 +182,7 @@ TEST(Stream, MatchesRasterizeSharded) {
 
 TEST(StreamDeath, ResidentBudgetZeroRejected) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  const AscGrid g = make_grid(8, 7, Family::Flat, 1);
+  const AscGrid g = test::make_asc_grid(8, 7, test::GridFamily::Flat, 1);
   stream::StreamOptions opt;
   opt.resident_slabs = 0;
   stream::MemoryBandSink sink(opt.width, opt.height, 1);
@@ -227,7 +191,7 @@ TEST(StreamDeath, ResidentBudgetZeroRejected) {
 }
 
 TEST(Stream, ResidentBytesBudgetEnforced) {
-  const AscGrid g = make_grid(16, 13, Family::Smooth, 2);
+  const AscGrid g = test::make_asc_grid(16, 13, test::GridFamily::Smooth, 2);
   stream::StreamOptions opt;
   opt.slab_rows = 4;
   opt.width = 32;
@@ -275,7 +239,7 @@ TEST(Stream, SlabWindowOverCoordinateBudgetThrows) {
 }
 
 TEST(Stream, NodataOnlyGridStreamsToBackground) {
-  AscGrid g = make_grid(8, 7, Family::Flat, 1);
+  AscGrid g = test::make_asc_grid(8, 7, test::GridFamily::Flat, 1);
   for (double& v : g.values) v = *g.nodata;
   stream::StreamOptions opt;
   opt.slab_rows = 2;
@@ -330,7 +294,7 @@ TEST(Stream, HundredTimesResidentCapacityStreamsAndMatches) {
 // ---------------------------------------------------------------------------
 
 TEST(Stream, AscFileSourceMatchesGridSource) {
-  const AscGrid g = make_grid(14, 11, Family::Holes, 9);
+  const AscGrid g = test::make_asc_grid(14, 11, test::GridFamily::Holes, 9);
   const std::string path = ::testing::TempDir() + "/thsr_stream_src.asc";
   save_asc_grid(g, path);
 
@@ -355,7 +319,7 @@ TEST(Stream, AscFileSourceMatchesGridSource) {
 // ---------------------------------------------------------------------------
 
 TEST(Stream, PgmCoverageSinkRoundTrips) {
-  const AscGrid g = make_grid(12, 11, Family::Smooth, 4);
+  const AscGrid g = test::make_asc_grid(12, 11, test::GridFamily::Smooth, 4);
   const std::string path = ::testing::TempDir() + "/thsr_stream_cov.pgm";
   stream::StreamOptions opt;
   opt.slab_rows = 3;
@@ -385,7 +349,7 @@ TEST(Stream, PgmCoverageSinkRoundTrips) {
 }
 
 TEST(Stream, AscTileSinkTilesTheImage) {
-  const AscGrid g = make_grid(12, 9, Family::Smooth, 6);
+  const AscGrid g = test::make_asc_grid(12, 9, test::GridFamily::Smooth, 6);
   const std::string prefix = ::testing::TempDir() + "/thsr_stream_tile";
   stream::StreamOptions opt;
   opt.slab_rows = 2;

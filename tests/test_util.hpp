@@ -8,8 +8,17 @@
 #include "envelope/envelope.hpp"
 #include "geometry/predicates.hpp"
 #include "support/random_segments.hpp"
+#include "support/terrain_families.hpp"
 
 namespace thsr::test {
+
+/// Shared terrain/DEM families (support/terrain_families.hpp), re-exported
+/// so suites keep the short `test::` spelling.
+using support::dense_staircase;
+using support::GridFamily;
+using support::kAllGridFamilies;
+using support::make_asc_grid;
+using support::make_family_terrain;
 
 /// Deterministic RNG (never std::random_device in tests).
 inline std::mt19937_64 rng(u64 seed) { return std::mt19937_64{seed}; }
